@@ -1,0 +1,24 @@
+"""E1 benchmark — route quality by recommendation source.
+
+Regenerates the paper's headline comparison table.  The shape to check:
+CrowdPlanner has the best mean quality, and MFP is the best of the three
+mining baselines.
+"""
+
+from repro.experiments import exp_accuracy
+from repro.experiments.exp_accuracy import AccuracyExperimentConfig
+
+
+
+
+def test_e1_accuracy_by_source(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_accuracy.run(bench_scenario, AccuracyExperimentConfig(num_queries=12, seed=61)),
+    )
+    print()
+    print(result.to_table())
+    sources = {row["source"] for row in result.rows}
+    assert "CrowdPlanner" in sources
+    assert {"MPR", "LDR", "MFP"} & sources
+    crowd_row = next(row for row in result.rows if row["source"] == "CrowdPlanner")
+    assert crowd_row["mean_quality"] > 0.0

@@ -1,0 +1,22 @@
+"""F2 benchmark — disagreement between candidate-route sources.
+
+Shape to check: the sources genuinely disagree (mean pairwise similarity well
+below 1), which is the premise that makes crowd arbitration necessary.
+"""
+
+from repro.experiments import exp_disagreement
+from repro.experiments.exp_disagreement import DisagreementExperimentConfig
+
+
+
+
+def test_f2_source_disagreement(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_disagreement.run(bench_scenario, DisagreementExperimentConfig(num_queries=25, seed=97)),
+    )
+    print()
+    print(result.to_table())
+    assert result.rows
+    assert result.summary["overall_mean_similarity"] < 0.9
+    for row in result.rows:
+        assert row["mean_distinct_candidates"] >= 2.0

@@ -1,0 +1,28 @@
+"""E7 benchmark — early stopping: responses consumed vs. answer quality.
+
+Shape to check: lower confidence thresholds consume fewer responses, and the
+quality penalty relative to waiting for every worker stays small.
+"""
+
+from repro.experiments import exp_early_stop
+from repro.experiments.exp_early_stop import EarlyStopExperimentConfig
+
+
+
+
+def test_e7_early_stop(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_early_stop.run(
+            bench_scenario,
+            EarlyStopExperimentConfig(num_tasks=8, workers_per_task=5, confidence_thresholds=(0.6, 0.9, 1.01), seed=89),
+        ),
+    )
+    print()
+    print(result.to_table())
+    rows = result.rows
+    assert rows
+    # The permissive threshold consumes no more responses than the disabled row.
+    disabled = next(row for row in rows if row["confidence_threshold"] == "disabled")
+    permissive = rows[0]
+    assert permissive["mean_responses_used"] <= disabled["mean_responses_used"] + 1e-9
+    assert permissive["mean_route_quality"] >= disabled["mean_route_quality"] - 0.25

@@ -1,0 +1,21 @@
+"""E6 benchmark — PMF completion of the sparse familiarity matrix.
+
+Shape to check: PMF's held-out reconstruction error beats the no-completion
+(zero) baseline at every sparsity level.
+"""
+
+from repro.experiments import exp_pmf
+from repro.experiments.exp_pmf import PMFExperimentConfig
+
+
+
+
+def test_e6_pmf_completion(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_pmf.run(bench_scenario, PMFExperimentConfig(holdout_fractions=(0.1, 0.3, 0.5))),
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["pmf_rmse"] <= row["zero_baseline_rmse"] + 1e-9
+    assert result.summary["pmf_beats_zero_baseline"]

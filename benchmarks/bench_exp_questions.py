@@ -1,0 +1,22 @@
+"""E3 benchmark — questions per task under different orderings and selections.
+
+Shape to check: ID3 ordering asks no more questions than asking everything,
+and the selected landmark set is much smaller than the beneficial set.
+"""
+
+from repro.experiments import exp_questions
+from repro.experiments.exp_questions import QuestionExperimentConfig
+
+
+
+
+def test_e3_questions_per_task(run_once):
+    result = run_once(
+        lambda: exp_questions.run(QuestionExperimentConfig(route_counts=(2, 3, 4, 5), trials=3)),
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["id3_expected_questions"] <= row["ask_all_questions"] + 1e-9
+        assert row["random_order_questions"] >= row["id3_expected_questions"] - 0.25
+    assert result.summary["selected_vs_beneficial_ratio"] < 0.6

@@ -1,0 +1,24 @@
+"""E4 benchmark — landmark-selection efficiency (brute force vs. ILS vs. Greedy).
+
+Shape to check: GreedySelect is orders of magnitude cheaper than brute-force
+enumeration while returning the same objective value.
+"""
+
+from repro.experiments import exp_selection_efficiency
+from repro.experiments.exp_selection_efficiency import SelectionEfficiencyConfig
+
+
+
+
+def test_e4_selection_efficiency(run_once):
+    result = run_once(
+        lambda: exp_selection_efficiency.run(
+            SelectionEfficiencyConfig(route_counts=(3, 4, 5), landmark_counts=(12, 16), brute_force_limit=16)
+        ),
+    )
+    print()
+    print(result.to_table())
+    assert result.summary["greedy_speedup_vs_brute"] > 1.0
+    for row in result.rows:
+        if "brute_value" in row:
+            assert abs(row["greedy_value"] - row["brute_value"]) < 1e-9

@@ -1,0 +1,20 @@
+"""F1 benchmark — distribution of inferred landmark significance.
+
+Shape to check: the HITS-style inference produces a skewed distribution (a few
+famous landmarks, a long obscure tail).
+"""
+
+from repro.experiments import exp_significance
+
+
+
+
+def test_f1_significance_distribution(run_once, bench_scenario):
+    result = run_once(lambda: exp_significance.run(bench_scenario))
+    print()
+    print(result.to_table())
+    assert result.summary["gini"] > 0.2
+    assert result.summary["top_10_share"] > 10 / len(bench_scenario.catalog)
+    significances = [row["significance"] for row in result.rows]
+    assert significances == sorted(significances)
+    assert significances[-1] == 1.0

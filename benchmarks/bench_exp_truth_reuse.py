@@ -1,0 +1,26 @@
+"""E2 benchmark — truth reuse over a repetitive request stream.
+
+Shape to check: the cumulative truth hit rate is substantial once the stream
+has warmed up, so the crowd is consulted for only a fraction of requests.
+"""
+
+from repro.experiments import exp_truth_reuse
+from repro.experiments.exp_truth_reuse import TruthReuseExperimentConfig
+
+
+
+
+def test_e2_truth_reuse(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_truth_reuse.run(
+            bench_scenario,
+            TruthReuseExperimentConfig(num_queries=60, num_distinct_pairs=12, num_buckets=4, seed=67),
+        ),
+    )
+    print()
+    print(result.to_table())
+    assert result.summary["requests"] > 0
+    assert 0.0 < result.summary["overall_truth_hit_rate"] <= 1.0
+    # Later buckets should reuse truths at least as much as the first bucket.
+    first, last = result.rows[0], result.rows[-1]
+    assert last["truth_hit_rate"] >= first["truth_hit_rate"] - 0.1

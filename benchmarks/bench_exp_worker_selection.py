@@ -1,0 +1,24 @@
+"""E5 benchmark — crowd answer quality under different worker-assignment policies.
+
+Shape to check: assigning tasks to the top-k eligible workers (rated voting)
+yields at least as good answers as uniform random assignment.
+"""
+
+from repro.experiments import exp_worker_selection
+from repro.experiments.exp_worker_selection import WorkerSelectionExperimentConfig
+
+
+
+
+def test_e5_worker_selection(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_worker_selection.run(
+            bench_scenario, WorkerSelectionExperimentConfig(num_tasks=8, worker_counts=(1, 3, 5), seed=79)
+        ),
+    )
+    print()
+    print(result.to_table())
+    assert result.rows
+    assert result.summary["rated_vs_random_gain"] > -0.15
+    for row in result.rows:
+        assert 0.0 <= row["rated_voting_quality"] <= 1.0

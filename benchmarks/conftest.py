@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one experiment of the reconstructed evaluation (see
+DESIGN.md section 3).  The scenario is built once per session; benchmarks run
+each experiment once (``rounds=1``) because the experiments are themselves
+aggregates over many queries.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets.synthetic_city import SyntheticCityConfig, build_scenario  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """A compact scenario shared by every benchmark."""
+    return build_scenario(
+        SyntheticCityConfig(
+            rows=10,
+            cols=10,
+            block_size_m=220.0,
+            num_landmarks=90,
+            num_drivers=20,
+            trips_per_driver=12,
+            num_hot_pairs=16,
+            num_workers=30,
+            seed=23,
+        )
+    )
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Fixture: run a zero-argument callable exactly once under benchmark timing.
+
+    The experiments are themselves aggregates over many queries, so a single
+    timed round is both sufficient and affordable.
+    """
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

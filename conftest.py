@@ -1,0 +1,13 @@
+"""Ensure the in-repo sources are importable when the package is not installed.
+
+The normal workflow is ``pip install -e .``; this fallback keeps ``pytest``
+working in offline environments where the editable build backend is
+unavailable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,34 @@
+"""Run the full reconstructed evaluation suite and print every table.
+
+Run with::
+
+    python examples/run_evaluation.py [experiment ids...]
+
+Without arguments all experiments (E1-E7, F1, F2) are run on a compact
+scenario; pass ids (e.g. ``E3 E4``) to run a subset.  See DESIGN.md section 3
+for what each experiment reproduces and EXPERIMENTS.md for recorded results.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import SyntheticCityConfig
+from repro.experiments.harness import ExperimentRunner
+
+
+def main() -> None:
+    wanted = [arg.upper() for arg in sys.argv[1:]] or None
+    runner = ExperimentRunner(
+        SyntheticCityConfig(rows=10, cols=10, num_landmarks=90, num_drivers=20, trips_per_driver=12, num_workers=30)
+    )
+    print("Building scenario and running experiments (this takes a few minutes)...\n")
+    results = runner.run(wanted)
+    print(ExperimentRunner.render_report(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""CrowdPlanner reproduction.
+
+A full reimplementation of "CrowdPlanner: A Crowd-Based Route Recommendation
+System" (ICDE 2014): road-network and trajectory substrates, landmark
+significance inference, candidate-route sources (web-service routing and
+popular-route mining), and the CrowdPlanner core — truth reuse, automatic
+route evaluation, crowd task generation, worker selection, early stopping and
+rewarding — together with a simulated crowd and the experiment harness that
+regenerates the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.datasets import SyntheticCityConfig, build_scenario
+>>> scenario = build_scenario(SyntheticCityConfig(rows=12, cols=12))
+>>> planner = scenario.build_planner()
+>>> query = scenario.sample_queries(1)[0]
+>>> result = planner.recommend(query)
+>>> result.method in {"truth_reuse", "agreement", "confident", "crowd", "single_candidate"}
+True
+"""
+
+from .config import DEFAULT_CONFIG, PlannerConfig
+from .exceptions import CrowdPlannerError
+from .core.planner import CrowdPlanner, RecommendationResult
+from .routing.base import CandidateRoute, RouteQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "PlannerConfig",
+    "CrowdPlannerError",
+    "CrowdPlanner",
+    "RecommendationResult",
+    "CandidateRoute",
+    "RouteQuery",
+    "__version__",
+]

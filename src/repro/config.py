@@ -1,0 +1,140 @@
+"""Tunable parameters of the CrowdPlanner system.
+
+The paper names several thresholds (``eta`` for the automatic-answer
+confidence, ``eta_time`` for response-time eligibility, ``eta_dis`` for the
+knowledge radius, ``eta_#q`` for the per-worker task quota, the familiarity
+smoothing ``alpha`` and wrong-answer gain ``beta``).  They are collected here
+in one frozen dataclass so experiments can sweep them explicitly instead of
+scattering magic numbers through the code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from .exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Configuration of the end-to-end CrowdPlanner pipeline.
+
+    Attributes
+    ----------
+    confidence_threshold:
+        ``eta`` in the paper — minimum confidence score for the traditional
+        route-recommendation (TR) module to answer automatically without
+        crowdsourcing.
+    agreement_threshold:
+        Minimum pairwise route similarity for the TR module to declare that
+        candidate routes "agree with each other to a high degree" and store
+        one as truth immediately.
+    truth_reuse_radius_m:
+        Maximum distance (metres) between a request endpoint and a stored
+        truth endpoint for the truth to be reused.
+    truth_time_slot_minutes:
+        Width of the departure-time slot attached to each verified truth.
+    min_landmark_set_size_slack:
+        Extra landmarks (beyond ``ceil(log2(n))``) the landmark selector is
+        allowed to consider.
+    worker_quota:
+        ``eta_#q`` — maximum number of outstanding tasks per worker.
+    response_time_threshold:
+        ``eta_time`` — minimum probability of answering before the deadline.
+    knowledge_radius_m:
+        ``eta_dis`` — radius around a landmark within which a worker's
+        knowledge of it contributes to familiarity.
+    familiarity_alpha:
+        ``alpha`` — weight of profile distance vs. answer history in the
+        familiarity score.
+    familiarity_beta:
+        ``beta`` — gain credited for a wrong answer (<1).
+    workers_per_task:
+        ``k`` — number of eligible workers a task is assigned to.
+    early_stop_confidence:
+        Confidence level at which the early-stop component returns an answer
+        before all workers have responded.
+    pmf_latent_dim:
+        Number of latent factors used by probabilistic matrix factorization.
+    reward_per_question:
+        Base reward points granted per answered question.
+    random_seed:
+        Seed for all stochastic components owned by the planner.
+    """
+
+    confidence_threshold: float = 0.7
+    agreement_threshold: float = 0.85
+    truth_reuse_radius_m: float = 250.0
+    truth_time_slot_minutes: int = 60
+    min_landmark_set_size_slack: int = 3
+    worker_quota: int = 5
+    response_time_threshold: float = 0.8
+    knowledge_radius_m: float = 2_000.0
+    familiarity_alpha: float = 0.6
+    familiarity_beta: float = 0.3
+    workers_per_task: int = 5
+    early_stop_confidence: float = 0.9
+    pmf_latent_dim: int = 8
+    reward_per_question: float = 1.0
+    random_seed: int = 7
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if any parameter is out of range."""
+        if not 0.0 < self.confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence_threshold must be in (0, 1]")
+        if not 0.0 < self.agreement_threshold <= 1.0:
+            raise ConfigurationError("agreement_threshold must be in (0, 1]")
+        if self.truth_reuse_radius_m <= 0:
+            raise ConfigurationError("truth_reuse_radius_m must be positive")
+        if self.truth_time_slot_minutes <= 0:
+            raise ConfigurationError("truth_time_slot_minutes must be positive")
+        if self.worker_quota < 1:
+            raise ConfigurationError("worker_quota must be at least 1")
+        if not 0.0 < self.response_time_threshold <= 1.0:
+            raise ConfigurationError("response_time_threshold must be in (0, 1]")
+        if self.knowledge_radius_m <= 0:
+            raise ConfigurationError("knowledge_radius_m must be positive")
+        if not 0.0 <= self.familiarity_alpha <= 1.0:
+            raise ConfigurationError("familiarity_alpha must be in [0, 1]")
+        if not 0.0 <= self.familiarity_beta < 1.0:
+            raise ConfigurationError("familiarity_beta must be in [0, 1)")
+        if self.workers_per_task < 1:
+            raise ConfigurationError("workers_per_task must be at least 1")
+        if not 0.0 < self.early_stop_confidence <= 1.0:
+            raise ConfigurationError("early_stop_confidence must be in (0, 1]")
+        if self.pmf_latent_dim < 1:
+            raise ConfigurationError("pmf_latent_dim must be at least 1")
+        if self.reward_per_question < 0:
+            raise ConfigurationError("reward_per_question must be non-negative")
+
+    def with_overrides(self, **overrides: Any) -> "PlannerConfig":
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the configuration as a plain dictionary (for reporting)."""
+        return {
+            "confidence_threshold": self.confidence_threshold,
+            "agreement_threshold": self.agreement_threshold,
+            "truth_reuse_radius_m": self.truth_reuse_radius_m,
+            "truth_time_slot_minutes": self.truth_time_slot_minutes,
+            "min_landmark_set_size_slack": self.min_landmark_set_size_slack,
+            "worker_quota": self.worker_quota,
+            "response_time_threshold": self.response_time_threshold,
+            "knowledge_radius_m": self.knowledge_radius_m,
+            "familiarity_alpha": self.familiarity_alpha,
+            "familiarity_beta": self.familiarity_beta,
+            "workers_per_task": self.workers_per_task,
+            "early_stop_confidence": self.early_stop_confidence,
+            "pmf_latent_dim": self.pmf_latent_dim,
+            "reward_per_question": self.reward_per_question,
+            "random_seed": self.random_seed,
+        }
+
+
+DEFAULT_CONFIG = PlannerConfig()
+"""A shared default configuration used when the caller does not supply one."""

@@ -1,0 +1,68 @@
+"""CrowdPlanner core: the paper's contribution.
+
+This package implements the two-layer system of the paper's Section II —
+traditional route recommendation (truth reuse, route evaluation) and
+crowd-based route recommendation (task generation, worker selection, early
+stop, rewarding) — with the task-generation machinery of Section III and the
+worker-selection machinery of Section IV.
+"""
+
+from .route import LandmarkRoute, to_landmark_routes
+from .discriminative import is_discriminative, is_simplest_discriminative
+from .landmark_selection import (
+    BruteForceSelector,
+    GreedySelector,
+    IncrementalLandmarkSelector,
+    SelectionResult,
+    objective_value,
+)
+from .question_ordering import QuestionNode, QuestionTree, build_question_tree, information_strength
+from .task import Answer, Question, Task, TaskResult
+from .task_generation import TaskGenerator
+from .worker import Worker, WorkerPool
+from .familiarity import FamiliarityModel
+from .pmf import ProbabilisticMatrixFactorization
+from .response_time import ResponseTimeModel
+from .worker_selection import WorkerSelector
+from .early_stop import EarlyStopMonitor
+from .rewards import RewardLedger
+from .aggregation import AnswerAggregator
+from .truth import TruthDatabase, VerifiedTruth
+from .evaluation import EvaluationOutcome, RouteEvaluator
+from .planner import CrowdPlanner, RecommendationResult
+
+__all__ = [
+    "LandmarkRoute",
+    "to_landmark_routes",
+    "is_discriminative",
+    "is_simplest_discriminative",
+    "BruteForceSelector",
+    "GreedySelector",
+    "IncrementalLandmarkSelector",
+    "SelectionResult",
+    "objective_value",
+    "QuestionNode",
+    "QuestionTree",
+    "build_question_tree",
+    "information_strength",
+    "Answer",
+    "Question",
+    "Task",
+    "TaskResult",
+    "TaskGenerator",
+    "Worker",
+    "WorkerPool",
+    "FamiliarityModel",
+    "ProbabilisticMatrixFactorization",
+    "ResponseTimeModel",
+    "WorkerSelector",
+    "EarlyStopMonitor",
+    "RewardLedger",
+    "AnswerAggregator",
+    "TruthDatabase",
+    "VerifiedTruth",
+    "EvaluationOutcome",
+    "RouteEvaluator",
+    "CrowdPlanner",
+    "RecommendationResult",
+]

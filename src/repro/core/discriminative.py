@@ -1,0 +1,52 @@
+"""Discriminative and simplest-discriminative landmark sets (Definitions 4–5).
+
+A landmark set ``L`` is *discriminative* for a route set if the intersection
+``R̄ ∩ L`` differs for every pair of routes — i.e. knowing which of the
+selected landmarks a route passes identifies the route uniquely.  It is
+*simplest discriminative* if removing any single landmark breaks that
+property.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from .route import LandmarkRoute
+
+
+def is_discriminative(landmark_ids: Iterable[int], routes: Sequence[LandmarkRoute]) -> bool:
+    """True if ``landmark_ids`` distinguishes every pair of routes.
+
+    With fewer than two routes any set (including the empty set) is trivially
+    discriminative.
+    """
+    selected = list(landmark_ids)
+    signatures: Set[FrozenSet[int]] = set()
+    for route in routes:
+        signature = route.restricted_to(selected)
+        if signature in signatures:
+            return False
+        signatures.add(signature)
+    return True
+
+
+def is_simplest_discriminative(landmark_ids: Iterable[int], routes: Sequence[LandmarkRoute]) -> bool:
+    """True if the set is discriminative and minimal.
+
+    Minimal means removing any one landmark makes the set non-discriminative.
+    The empty set is simplest discriminative only for route sets of size 0/1.
+    """
+    selected = list(dict.fromkeys(landmark_ids))
+    if not is_discriminative(selected, routes):
+        return False
+    for index in range(len(selected)):
+        reduced = selected[:index] + selected[index + 1:]
+        if is_discriminative(reduced, routes):
+            return False
+    return True
+
+
+def route_signatures(landmark_ids: Iterable[int], routes: Sequence[LandmarkRoute]) -> List[FrozenSet[int]]:
+    """The joint sets ``R̄ ∩ L`` for every route, in route order."""
+    selected = list(landmark_ids)
+    return [route.restricted_to(selected) for route in routes]

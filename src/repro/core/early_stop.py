@@ -1,0 +1,81 @@
+"""Early stopping of crowd tasks (Section II-B2).
+
+The system does not always need all assigned workers to respond.  After each
+collected response the early-stop monitor evaluates the confidence of the
+current leading route; if the leader holds a large enough share of the votes
+(and mathematically cannot be a fluke given how many answers are still
+outstanding), the answer is returned immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, PlannerConfig
+
+
+@dataclass(frozen=True)
+class EarlyStopDecision:
+    """The monitor's verdict after a batch of responses."""
+
+    should_stop: bool
+    leading_route_index: Optional[int]
+    confidence: float
+    votes_collected: int
+
+
+class EarlyStopMonitor:
+    """Decides when enough crowd answers have been collected.
+
+    Parameters
+    ----------
+    config:
+        Supplies ``early_stop_confidence``.
+    min_responses:
+        Never stop before this many responses have been collected (a single
+        vote, however confident, is not a consensus).
+    """
+
+    def __init__(self, config: PlannerConfig = DEFAULT_CONFIG, min_responses: int = 2):
+        if min_responses < 1:
+            raise ValueError("min_responses must be at least 1")
+        self.config = config
+        self.min_responses = min_responses
+
+    def confidence(self, votes: Dict[int, int]) -> float:
+        """Confidence of the current leader: its share of collected votes."""
+        total = sum(votes.values())
+        if total == 0:
+            return 0.0
+        return max(votes.values()) / total
+
+    def unbeatable(self, votes: Dict[int, int], expected_total: int) -> bool:
+        """True if no other route can catch the leader with the remaining votes."""
+        if not votes:
+            return False
+        total = sum(votes.values())
+        remaining = max(0, expected_total - total)
+        ordered = sorted(votes.values(), reverse=True)
+        leader = ordered[0]
+        runner_up = ordered[1] if len(ordered) > 1 else 0
+        return leader > runner_up + remaining
+
+    def evaluate(self, votes: Dict[int, int], expected_total: int) -> EarlyStopDecision:
+        """Evaluate the collected votes against the stopping rule.
+
+        Stops when the leader's share reaches ``early_stop_confidence`` (with
+        at least ``min_responses`` collected), or when the leader is already
+        mathematically unbeatable.
+        """
+        total = sum(votes.values())
+        if total == 0:
+            return EarlyStopDecision(False, None, 0.0, 0)
+        leading_index = max(votes.items(), key=lambda item: (item[1], -item[0]))[0]
+        confidence = self.confidence(votes)
+        stop = False
+        if total >= self.min_responses and confidence >= self.config.early_stop_confidence:
+            stop = True
+        if self.unbeatable(votes, expected_total):
+            stop = True
+        return EarlyStopDecision(stop, leading_index, confidence, total)

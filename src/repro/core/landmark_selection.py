@@ -1,0 +1,260 @@
+"""Landmark selection (Section III-B).
+
+Given the landmark-based candidate routes and a significance score per
+landmark, select a small set of highly significant landmarks that is
+*discriminative* for the candidate set, maximising the objective
+
+    value(L) = (sum of significances of L) / |L|      (mean significance)
+
+subject to L being discriminative and ``ceil(log2 n) <= |L| <= n`` where ``n``
+is the number of candidate routes.
+
+Three selectors are provided:
+
+* :class:`BruteForceSelector` — exhaustive enumeration; exponential, only
+  usable for small inputs, serves as the exactness oracle in tests and as the
+  baseline in the efficiency experiment (E4).
+* :class:`IncrementalLandmarkSelector` (ILS) — the paper's level-wise
+  bottom-up search over simplest-discriminative sets.
+* :class:`GreedySelector` — the paper's depth-first expansion in descending
+  significance order with upper-bound pruning.
+
+All selectors work on the *beneficial* landmarks only (union minus
+intersection of the routes' landmark sets) and break ties deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import TaskGenerationError
+from .discriminative import is_discriminative
+from .route import LandmarkRoute, beneficial_landmarks
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a landmark-selection run."""
+
+    landmark_ids: Tuple[int, ...]
+    value: float
+    evaluated_sets: int
+    algorithm: str
+
+    def __init__(self, landmark_ids: Sequence[int], value: float, evaluated_sets: int, algorithm: str):
+        object.__setattr__(self, "landmark_ids", tuple(landmark_ids))
+        object.__setattr__(self, "value", float(value))
+        object.__setattr__(self, "evaluated_sets", int(evaluated_sets))
+        object.__setattr__(self, "algorithm", algorithm)
+
+
+def objective_value(landmark_ids: Sequence[int], significance: Dict[int, float]) -> float:
+    """The paper's target function: sum of significances times ``|L|^-1``."""
+    ids = list(landmark_ids)
+    if not ids:
+        return 0.0
+    return sum(significance[lid] for lid in ids) / len(ids)
+
+
+def minimum_set_size(route_count: int) -> int:
+    """``ceil(log2 n)`` — the information-theoretic lower bound on |L|."""
+    if route_count <= 1:
+        return 0
+    return int(math.ceil(math.log2(route_count)))
+
+
+class _SelectorBase:
+    """Shared preparation step: beneficial landmarks sorted by significance."""
+
+    algorithm = "base"
+
+    def __init__(self, max_candidate_landmarks: Optional[int] = None):
+        if max_candidate_landmarks is not None and max_candidate_landmarks < 1:
+            raise TaskGenerationError("max_candidate_landmarks must be positive")
+        self.max_candidate_landmarks = max_candidate_landmarks
+
+    def prepare(
+        self,
+        routes: Sequence[LandmarkRoute],
+        significance: Dict[int, float],
+    ) -> List[int]:
+        """Return beneficial landmarks sorted by descending significance.
+
+        When ``max_candidate_landmarks`` is set, only the most significant
+        candidates are kept — a practical cap that bounds the exponential
+        worst case without changing behaviour on typical inputs.
+        """
+        candidates = beneficial_landmarks(routes)
+        missing = [lid for lid in candidates if lid not in significance]
+        if missing:
+            raise TaskGenerationError(f"missing significance for landmarks {missing[:5]!r}")
+        ordered = sorted(candidates, key=lambda lid: (-significance[lid], lid))
+        if self.max_candidate_landmarks is not None:
+            ordered = ordered[: self.max_candidate_landmarks]
+        return ordered
+
+    def select(self, routes: Sequence[LandmarkRoute], significance: Dict[int, float]) -> SelectionResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_routes(routes: Sequence[LandmarkRoute]) -> None:
+        if len(routes) < 2:
+            raise TaskGenerationError("landmark selection needs at least two candidate routes")
+
+
+class BruteForceSelector(_SelectorBase):
+    """Exhaustive enumeration of all subsets of beneficial landmarks."""
+
+    algorithm = "brute-force"
+
+    def select(self, routes: Sequence[LandmarkRoute], significance: Dict[int, float]) -> SelectionResult:
+        self._check_routes(routes)
+        candidates = self.prepare(routes, significance)
+        lower = max(1, minimum_set_size(len(routes)))
+        best_set: Optional[Tuple[int, ...]] = None
+        best_value = -1.0
+        evaluated = 0
+        for size in range(lower, len(candidates) + 1):
+            for combination in itertools.combinations(candidates, size):
+                evaluated += 1
+                if not is_discriminative(combination, routes):
+                    continue
+                value = objective_value(combination, significance)
+                if value > best_value + 1e-12:
+                    best_value = value
+                    best_set = combination
+        if best_set is None:
+            raise TaskGenerationError(
+                "no discriminative landmark set exists for the candidate routes"
+            )
+        return SelectionResult(best_set, best_value, evaluated, self.algorithm)
+
+
+class GreedySelector(_SelectorBase):
+    """Depth-first expansion in descending significance order with pruning.
+
+    Sets are expanded by adding landmarks whose significance does not exceed
+    the smallest significance already in the set (which eliminates duplicate
+    enumeration orders).  Because additions can only lower the mean
+    significance, a branch whose current mean is already no better than the
+    best discriminative set found so far can be pruned, and expansion stops
+    as soon as a set becomes discriminative.
+    """
+
+    algorithm = "greedy"
+
+    def select(self, routes: Sequence[LandmarkRoute], significance: Dict[int, float]) -> SelectionResult:
+        self._check_routes(routes)
+        ordered = self.prepare(routes, significance)
+        if not ordered:
+            raise TaskGenerationError("no beneficial landmarks — routes are indistinguishable")
+
+        best: Dict[str, object] = {"set": None, "value": -1.0}
+        evaluated = 0
+
+        def expand(current: List[int], start_index: int) -> None:
+            nonlocal evaluated
+            for index in range(start_index, len(ordered)):
+                landmark = ordered[index]
+                candidate = current + [landmark]
+                evaluated += 1
+                candidate_value = objective_value(candidate, significance)
+                # Adding further landmarks (all with significance <= the
+                # current minimum) can only decrease the mean, so prune
+                # branches that already cannot beat the incumbent.
+                if candidate_value <= best["value"] + 1e-12 and best["set"] is not None:
+                    continue
+                if is_discriminative(candidate, routes):
+                    if candidate_value > best["value"] + 1e-12:
+                        best["set"] = tuple(candidate)
+                        best["value"] = candidate_value
+                    # Supersets are discriminative too but strictly worse in
+                    # mean significance; do not expand further.
+                    continue
+                expand(candidate, index + 1)
+
+        expand([], 0)
+        if best["set"] is None:
+            raise TaskGenerationError(
+                "no discriminative landmark set exists for the candidate routes"
+            )
+        return SelectionResult(best["set"], float(best["value"]), evaluated, self.algorithm)
+
+
+class IncrementalLandmarkSelector(_SelectorBase):
+    """The paper's ILS: level-wise search over simplest-discriminative sets.
+
+    Level ``k`` holds all undiscriminative sets of size ``k``; discriminative
+    sets found at level ``k`` compete for ``Lsim[k]`` (the best
+    simplest-discriminative set of that size) and are pruned from further
+    expansion.  The final answer extends each ``Lsim[i]`` with the most
+    significant unused landmarks (``GetMaxSet``) and keeps the best objective
+    value over all sizes.
+    """
+
+    algorithm = "ILS"
+
+    def select(self, routes: Sequence[LandmarkRoute], significance: Dict[int, float]) -> SelectionResult:
+        self._check_routes(routes)
+        ordered = self.prepare(routes, significance)
+        if not ordered:
+            raise TaskGenerationError("no beneficial landmarks — routes are indistinguishable")
+
+        evaluated = 0
+        simplest: Dict[int, Tuple[Tuple[int, ...], float]] = {}
+
+        # Level-wise expansion.  Sets are kept in "descending significance"
+        # canonical order, and extension only appends landmarks less
+        # significant than the set's last element, so every subset is
+        # enumerated exactly once.
+        index_of = {lid: i for i, lid in enumerate(ordered)}
+        current_level: List[Tuple[int, ...]] = [()]
+        for size in range(1, len(ordered) + 1):
+            next_level: List[Tuple[int, ...]] = []
+            best_at_size: Optional[Tuple[Tuple[int, ...], float]] = None
+            for undiscriminative_set in current_level:
+                start = index_of[undiscriminative_set[-1]] + 1 if undiscriminative_set else 0
+                for index in range(start, len(ordered)):
+                    candidate = undiscriminative_set + (ordered[index],)
+                    evaluated += 1
+                    if is_discriminative(candidate, routes):
+                        value = objective_value(candidate, significance)
+                        if best_at_size is None or value > best_at_size[1] + 1e-12:
+                            best_at_size = (candidate, value)
+                        # Discriminative sets are pruned from expansion.
+                        continue
+                    next_level.append(candidate)
+            if best_at_size is not None:
+                simplest[size] = best_at_size
+            current_level = next_level
+            if not current_level:
+                break
+
+        if not simplest:
+            raise TaskGenerationError(
+                "no discriminative landmark set exists for the candidate routes"
+            )
+
+        # GetMaxSet: for each target size k >= i, the best superset of
+        # Lsim[i] of size k adds the k-i most significant unused landmarks.
+        lower = max(1, minimum_set_size(len(routes)))
+        best_set: Optional[Tuple[int, ...]] = None
+        best_value = -1.0
+        max_size = len(ordered)
+        for base_size, (base_set, _) in simplest.items():
+            unused = [lid for lid in ordered if lid not in base_set]
+            for target_size in range(max(lower, base_size), max_size + 1):
+                extra = target_size - base_size
+                if extra > len(unused):
+                    break
+                candidate = tuple(base_set) + tuple(unused[:extra])
+                value = objective_value(candidate, significance)
+                if value > best_value + 1e-12:
+                    best_value = value
+                    best_set = candidate
+        if best_set is None:
+            raise TaskGenerationError("landmark selection failed to produce a set")
+        return SelectionResult(best_set, best_value, evaluated, self.algorithm)

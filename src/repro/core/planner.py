@@ -1,0 +1,286 @@
+"""The CrowdPlanner facade: control logic of the whole system (Section II-B).
+
+:class:`CrowdPlanner` wires together every component into the paper's
+workflow:
+
+1. **Truth reuse** — if a verified truth matches the request, return it.
+2. **Candidate generation** — collect routes from all configured sources
+   (web services and popular-route miners).
+3. **Automatic evaluation** — answer immediately when candidates agree or a
+   candidate's truth-based confidence clears the threshold.
+4. **Crowd task** — otherwise generate a task, select the top-k eligible
+   workers, collect their answers through the crowd backend (early-stopping
+   when possible), aggregate, reward workers, update their answer history and
+   record the verified truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, PlannerConfig
+from ..exceptions import (
+    CrowdPlannerError,
+    RoutingError,
+    TaskGenerationError,
+    WorkerSelectionError,
+)
+from ..landmarks.model import LandmarkCatalog
+from ..roadnet.graph import RoadNetwork
+from ..routing.base import CandidateRoute, RouteQuery, RouteSource
+from ..trajectory.calibration import AnchorCalibrator
+from .aggregation import AnswerAggregator
+from .early_stop import EarlyStopMonitor
+from .evaluation import EvaluationDecision, EvaluationOutcome, RouteEvaluator
+from .familiarity import FamiliarityModel
+from .rewards import RewardLedger
+from .task import Task, TaskResult, WorkerResponse
+from .task_generation import TaskGenerator
+from .truth import TruthDatabase
+from .worker import WorkerPool
+from .worker_selection import WorkerSelector
+
+
+class CrowdBackend(abc.ABC):
+    """Source of worker responses.
+
+    Production deployments would push questions to mobile clients; the
+    reproduction uses :class:`repro.crowd.simulator.SimulatedCrowd`.
+    """
+
+    @abc.abstractmethod
+    def collect_responses(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
+        """Return the workers' responses in arrival order."""
+
+
+@dataclass
+class RecommendationResult:
+    """What a route-recommendation request produced."""
+
+    query: RouteQuery
+    route: CandidateRoute
+    method: str                      # "truth_reuse" | "agreement" | "confident" | "crowd" | "single_candidate"
+    confidence: float
+    candidates: List[CandidateRoute] = field(default_factory=list)
+    evaluation: Optional[EvaluationOutcome] = None
+    task_result: Optional[TaskResult] = None
+
+    @property
+    def used_crowd(self) -> bool:
+        return self.method == "crowd"
+
+
+@dataclass
+class PlannerStatistics:
+    """Counters of how requests were resolved (used by the cost experiments)."""
+
+    requests: int = 0
+    truth_hits: int = 0
+    agreement_answers: int = 0
+    confident_answers: int = 0
+    crowd_tasks: int = 0
+    single_candidate_answers: int = 0
+    questions_asked: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "truth_hits": self.truth_hits,
+            "agreement_answers": self.agreement_answers,
+            "confident_answers": self.confident_answers,
+            "crowd_tasks": self.crowd_tasks,
+            "single_candidate_answers": self.single_candidate_answers,
+            "questions_asked": self.questions_asked,
+        }
+
+
+class CrowdPlanner:
+    """End-to-end crowd-based route recommendation system."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        catalog: LandmarkCatalog,
+        calibrator: AnchorCalibrator,
+        sources: Sequence[RouteSource],
+        worker_pool: WorkerPool,
+        crowd_backend: Optional[CrowdBackend] = None,
+        config: PlannerConfig = DEFAULT_CONFIG,
+        familiarity: Optional[FamiliarityModel] = None,
+        task_generator: Optional[TaskGenerator] = None,
+    ):
+        if not sources:
+            raise CrowdPlannerError("CrowdPlanner needs at least one candidate-route source")
+        self.network = network
+        self.catalog = catalog
+        self.calibrator = calibrator
+        self.sources = list(sources)
+        self.worker_pool = worker_pool
+        self.crowd_backend = crowd_backend
+        self.config = config
+
+        self.truths = TruthDatabase(network, config)
+        self.evaluator = RouteEvaluator(network, self.truths, config)
+        self.task_generator = task_generator or TaskGenerator(calibrator, catalog)
+        self.familiarity = familiarity
+        self.worker_selector: Optional[WorkerSelector] = None
+        if familiarity is not None:
+            self.worker_selector = WorkerSelector(worker_pool, familiarity, config)
+        self.aggregator = AnswerAggregator(config, EarlyStopMonitor(config))
+        self.rewards = RewardLedger(worker_pool, config)
+        self.statistics = PlannerStatistics()
+
+    # -------------------------------------------------------------- plumbing
+    def prepare_workers(self, use_pmf: bool = True) -> None:
+        """Fit the familiarity model (must run before crowd tasks can be assigned)."""
+        if self.familiarity is None:
+            self.familiarity = FamiliarityModel(self.worker_pool, self.catalog, self.config)
+        self.familiarity.fit(use_pmf=use_pmf)
+        self.worker_selector = WorkerSelector(self.worker_pool, self.familiarity, self.config)
+
+    def generate_candidates(self, query: RouteQuery) -> List[CandidateRoute]:
+        """Collect candidate routes from every source, dropping failures and duplicates."""
+        candidates: List[CandidateRoute] = []
+        seen_paths = set()
+        for source in self.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None:
+                continue
+            if candidate.path in seen_paths:
+                continue
+            seen_paths.add(candidate.path)
+            candidates.append(candidate)
+        return candidates
+
+    # ------------------------------------------------------------- interface
+    def recommend(self, query: RouteQuery) -> RecommendationResult:
+        """Answer one route-recommendation request through the full pipeline."""
+        self.statistics.requests += 1
+
+        # Step 1: truth reuse.
+        truth = self.truths.lookup(query)
+        if truth is not None:
+            self.statistics.truth_hits += 1
+            return RecommendationResult(
+                query=query,
+                route=truth.route,
+                method="truth_reuse",
+                confidence=truth.confidence,
+            )
+
+        # Step 2: candidate generation.
+        candidates = self.generate_candidates(query)
+        if not candidates:
+            raise RoutingError(
+                f"no source produced a route between {query.origin} and {query.destination}"
+            )
+        if len(candidates) == 1:
+            self.statistics.single_candidate_answers += 1
+            self.truths.record(query, candidates[0], verified_by="single_candidate", confidence=0.5)
+            return RecommendationResult(
+                query=query,
+                route=candidates[0],
+                method="single_candidate",
+                confidence=0.5,
+                candidates=candidates,
+            )
+
+        # Step 3: automatic evaluation.
+        outcome = self.evaluator.evaluate(query, candidates)
+        if outcome.decision is EvaluationDecision.AGREEMENT:
+            self.statistics.agreement_answers += 1
+            self.truths.record(query, outcome.best_route, verified_by="agreement", confidence=0.9)
+            return RecommendationResult(
+                query=query,
+                route=outcome.best_route,
+                method="agreement",
+                confidence=0.9,
+                candidates=candidates,
+                evaluation=outcome,
+            )
+        if outcome.decision is EvaluationDecision.CONFIDENT:
+            self.statistics.confident_answers += 1
+            confidence = max(outcome.confidences.values())
+            self.truths.record(query, outcome.best_route, verified_by="confidence", confidence=confidence)
+            return RecommendationResult(
+                query=query,
+                route=outcome.best_route,
+                method="confident",
+                confidence=confidence,
+                candidates=candidates,
+                evaluation=outcome,
+            )
+
+        # Step 4: crowd task.
+        return self._crowdsource(query, candidates, outcome)
+
+    # ----------------------------------------------------------------- crowd
+    def _crowdsource(
+        self,
+        query: RouteQuery,
+        candidates: Sequence[CandidateRoute],
+        outcome: EvaluationOutcome,
+    ) -> RecommendationResult:
+        if self.crowd_backend is None:
+            raise CrowdPlannerError(
+                "the request needs crowdsourcing but no crowd backend is configured"
+            )
+        if self.worker_selector is None:
+            raise CrowdPlannerError(
+                "prepare_workers() must be called before crowdsourcing tasks"
+            )
+        try:
+            task = self.task_generator.generate(query, candidates)
+        except TaskGenerationError:
+            # All candidates pass the same landmarks; pick the best supported
+            # one — the crowd could not tell them apart anyway.
+            best = sorted(candidates, key=lambda c: (-c.support, c.source))[0]
+            self.statistics.single_candidate_answers += 1
+            self.truths.record(query, best, verified_by="indistinguishable", confidence=0.6)
+            return RecommendationResult(
+                query=query,
+                route=best,
+                method="single_candidate",
+                confidence=0.6,
+                candidates=list(candidates),
+                evaluation=outcome,
+            )
+
+        worker_ids = self.worker_selector.select(task, self.config.workers_per_task)
+        for worker_id in worker_ids:
+            self.worker_pool.assign(worker_id)
+        try:
+            responses = self.crowd_backend.collect_responses(task, worker_ids)
+        finally:
+            for worker_id in worker_ids:
+                self.worker_pool.release(worker_id)
+        if not responses:
+            raise WorkerSelectionError("the crowd backend returned no responses")
+
+        result = self.aggregator.collect_with_early_stop(task, responses, expected_total=len(worker_ids))
+        self.statistics.crowd_tasks += 1
+        self.statistics.questions_asked += result.total_questions_asked
+
+        self._update_answer_history(result)
+        self.rewards.reward_task(result)
+        self.truths.record(query, result.winning_route, verified_by="crowd", confidence=result.confidence)
+        return RecommendationResult(
+            query=query,
+            route=result.winning_route,
+            method="crowd",
+            confidence=result.confidence,
+            candidates=list(candidates),
+            evaluation=outcome,
+            task_result=result,
+        )
+
+    def _update_answer_history(self, result: TaskResult) -> None:
+        """Credit each answered question as correct/wrong against the verified winner."""
+        winner = result.task.landmark_routes[result.winning_route_index]
+        for response in result.responses:
+            worker = self.worker_pool.get(response.worker_id)
+            for answer in response.answers:
+                correct = answer.says_yes == winner.passes(answer.landmark_id)
+                worker.record_answer(answer.landmark_id, correct)

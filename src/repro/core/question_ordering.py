@@ -1,0 +1,183 @@
+"""Question ordering (Section III-C).
+
+The selected landmarks become binary questions ("do you prefer the route
+passing landmark X?").  Rather than asking them in a fixed order, CrowdPlanner
+builds an ID3-style decision tree: at each step it asks the question with the
+largest *information strength*
+
+    IS(l) = l.s * [ H(R) - |R+|/|R| * H(R+) - |R-|/|R| * H(R-) ]
+
+where ``R+``/``R-`` are the candidate routes that do / do not pass the
+landmark and ``H`` is the empirical entropy (each remaining route is its own
+class).  The yes/no answer selects the child subtree, and questioning stops
+when a single route remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import TaskGenerationError
+from ..utils.stats import empirical_entropy
+from .discriminative import is_discriminative
+from .route import LandmarkRoute
+
+
+def information_strength(
+    landmark_id: int,
+    routes: Sequence[LandmarkRoute],
+    significance: Dict[int, float],
+) -> float:
+    """Information strength of asking about ``landmark_id`` given remaining routes."""
+    if not routes:
+        return 0.0
+    passing = [route for route in routes if route.passes(landmark_id)]
+    missing = [route for route in routes if not route.passes(landmark_id)]
+    total = len(routes)
+    entropy_before = empirical_entropy(range(total))
+    entropy_passing = empirical_entropy(range(len(passing))) if passing else 0.0
+    entropy_missing = empirical_entropy(range(len(missing))) if missing else 0.0
+    information_gain = (
+        entropy_before
+        - (len(passing) / total) * entropy_passing
+        - (len(missing) / total) * entropy_missing
+    )
+    return significance.get(landmark_id, 0.0) * information_gain
+
+
+@dataclass
+class QuestionNode:
+    """One node of the question tree.
+
+    Leaf nodes carry the single remaining route; internal nodes carry the
+    landmark asked about and yes/no children.
+    """
+
+    routes: List[LandmarkRoute]
+    landmark_id: Optional[int] = None
+    yes_child: Optional["QuestionNode"] = None
+    no_child: Optional["QuestionNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.landmark_id is None
+
+    @property
+    def decided_route(self) -> LandmarkRoute:
+        """The single route a leaf resolves to."""
+        if not self.is_leaf:
+            raise TaskGenerationError("only leaf nodes carry a decided route")
+        if len(self.routes) != 1:
+            # Indistinguishable remainder: deterministic fallback to the
+            # route with the most historical support, then source name.
+            return sorted(self.routes, key=lambda r: (-r.route.support, r.source))[0]
+        return self.routes[0]
+
+
+class QuestionTree:
+    """An ID3 question tree over the selected landmarks."""
+
+    def __init__(self, root: QuestionNode, landmark_ids: Sequence[int]):
+        self.root = root
+        self.landmark_ids = tuple(landmark_ids)
+
+    def depth(self) -> int:
+        """Longest number of questions any answer path requires."""
+        return self._depth(self.root)
+
+    def _depth(self, node: QuestionNode) -> int:
+        if node.is_leaf:
+            return 0
+        return 1 + max(self._depth(node.yes_child), self._depth(node.no_child))
+
+    def expected_questions(self) -> float:
+        """Expected number of questions when every route is equally likely."""
+        leaves = self._leaf_depths(self.root, 0)
+        weighted = 0.0
+        total_routes = sum(len(node.routes) for node, _ in leaves)
+        if total_routes == 0:
+            return 0.0
+        for node, depth in leaves:
+            weighted += depth * len(node.routes)
+        return weighted / total_routes
+
+    def _leaf_depths(self, node: QuestionNode, depth: int) -> List[Tuple[QuestionNode, int]]:
+        if node.is_leaf:
+            return [(node, depth)]
+        return self._leaf_depths(node.yes_child, depth + 1) + self._leaf_depths(
+            node.no_child, depth + 1
+        )
+
+    def traverse(self, answers: Dict[int, bool]) -> Tuple[LandmarkRoute, List[int]]:
+        """Follow the tree using ``answers`` (landmark id -> yes/no).
+
+        Returns the decided route and the ordered list of landmarks actually
+        asked.  Raises :class:`TaskGenerationError` if an answer needed by the
+        traversal is missing.
+        """
+        node = self.root
+        asked: List[int] = []
+        while not node.is_leaf:
+            landmark_id = node.landmark_id
+            if landmark_id not in answers:
+                raise TaskGenerationError(
+                    f"traversal requires an answer for landmark {landmark_id}"
+                )
+            asked.append(landmark_id)
+            node = node.yes_child if answers[landmark_id] else node.no_child
+        return node.decided_route, asked
+
+    def question_sequence_for(self, route: LandmarkRoute) -> List[int]:
+        """The landmarks that would be asked if the truthful answer is ``route``."""
+        answers = {lid: route.passes(lid) for lid in self.landmark_ids}
+        _, asked = self.traverse(answers)
+        return asked
+
+
+def build_question_tree(
+    routes: Sequence[LandmarkRoute],
+    landmark_ids: Sequence[int],
+    significance: Dict[int, float],
+) -> QuestionTree:
+    """Build the ID3 question tree for the selected landmarks.
+
+    ``landmark_ids`` must be discriminative for ``routes``; otherwise some
+    leaf would hold more than one route and the task could not identify the
+    preferred candidate.
+    """
+    if len(routes) < 1:
+        raise TaskGenerationError("cannot build a question tree without candidate routes")
+    if len(routes) > 1 and not is_discriminative(landmark_ids, routes):
+        raise TaskGenerationError("the selected landmark set is not discriminative")
+    root = _build_node(list(routes), list(landmark_ids), significance)
+    return QuestionTree(root, landmark_ids)
+
+
+def _build_node(
+    routes: List[LandmarkRoute],
+    remaining: List[int],
+    significance: Dict[int, float],
+) -> QuestionNode:
+    if len(routes) <= 1 or not remaining:
+        return QuestionNode(routes=routes)
+    # Pick the question with maximum information strength; ties broken by
+    # higher significance then lower landmark id for determinism.
+    scored = [
+        (information_strength(lid, routes, significance), significance.get(lid, 0.0), -lid, lid)
+        for lid in remaining
+    ]
+    scored.sort(reverse=True)
+    best_strength, _, _, best_landmark = scored[0]
+    if best_strength <= 0.0:
+        # No remaining question separates these routes any further.
+        return QuestionNode(routes=routes)
+    passing = [route for route in routes if route.passes(best_landmark)]
+    missing = [route for route in routes if not route.passes(best_landmark)]
+    rest = [lid for lid in remaining if lid != best_landmark]
+    return QuestionNode(
+        routes=routes,
+        landmark_id=best_landmark,
+        yes_child=_build_node(passing, rest, significance),
+        no_child=_build_node(missing, rest, significance),
+    )

@@ -1,0 +1,45 @@
+"""Worker response-time model (Section IV-A).
+
+Response times are assumed exponentially distributed, ``f(t; λ) = λ e^{-λt}``.
+A worker is only eligible for a task if the probability of answering before
+the user's deadline, ``F(t; λ) = 1 - e^{-λt}``, is at least ``eta_time``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..exceptions import WorkerSelectionError
+from .worker import Worker
+
+
+class ResponseTimeModel:
+    """Evaluates and samples exponential worker response times."""
+
+    def __init__(self, minimum_rate: float = 1e-9):
+        if minimum_rate <= 0:
+            raise WorkerSelectionError("minimum_rate must be positive")
+        self.minimum_rate = minimum_rate
+
+    def probability_within(self, worker: Worker, deadline_s: float) -> float:
+        """``P(response time <= deadline)`` for the worker's rate parameter."""
+        if deadline_s <= 0:
+            return 0.0
+        rate = max(worker.response_rate, self.minimum_rate)
+        return 1.0 - math.exp(-rate * deadline_s)
+
+    def meets_deadline(self, worker: Worker, deadline_s: float, threshold: float) -> bool:
+        """True if the worker's on-time probability reaches ``threshold`` (``eta_time``)."""
+        return self.probability_within(worker, deadline_s) >= threshold
+
+    def expected_response_time(self, worker: Worker) -> float:
+        """Mean of the exponential distribution, ``1 / λ``."""
+        rate = max(worker.response_rate, self.minimum_rate)
+        return 1.0 / rate
+
+    def sample(self, worker: Worker, rng: random.Random) -> float:
+        """Draw one response time for the worker."""
+        rate = max(worker.response_rate, self.minimum_rate)
+        return rng.expovariate(rate)

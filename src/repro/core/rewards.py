@@ -1,0 +1,75 @@
+"""Worker rewarding (Section II-B2).
+
+Workers earn points proportional to their workload (questions answered) with
+a quality bonus when their answer agrees with the verified final result.  The
+points are credited to the worker profile, where they can later offset the
+worker's own route-recommendation requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import DEFAULT_CONFIG, PlannerConfig
+from .task import TaskResult
+from .worker import WorkerPool
+
+
+@dataclass(frozen=True)
+class RewardEntry:
+    """One reward credited to one worker for one task."""
+
+    task_id: int
+    worker_id: int
+    questions_answered: int
+    agreed_with_result: bool
+    points: float
+
+
+class RewardLedger:
+    """Computes and records worker rewards."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        config: PlannerConfig = DEFAULT_CONFIG,
+        agreement_bonus: float = 2.0,
+    ):
+        if agreement_bonus < 0:
+            raise ValueError("agreement_bonus must be non-negative")
+        self.pool = pool
+        self.config = config
+        self.agreement_bonus = agreement_bonus
+        self._entries: List[RewardEntry] = []
+
+    def reward_task(self, result: TaskResult) -> List[RewardEntry]:
+        """Credit every responding worker of a finished task."""
+        entries = []
+        for response in result.responses:
+            agreed = response.chosen_route_index == result.winning_route_index
+            points = self.config.reward_per_question * response.questions_answered
+            if agreed:
+                points += self.agreement_bonus
+            worker = self.pool.get(response.worker_id)
+            worker.reward_points += points
+            entry = RewardEntry(
+                task_id=result.task.task_id,
+                worker_id=response.worker_id,
+                questions_answered=response.questions_answered,
+                agreed_with_result=agreed,
+                points=points,
+            )
+            self._entries.append(entry)
+            entries.append(entry)
+        return entries
+
+    def entries_for(self, worker_id: int) -> List[RewardEntry]:
+        """All reward entries earned by one worker."""
+        return [entry for entry in self._entries if entry.worker_id == worker_id]
+
+    def total_points_awarded(self) -> float:
+        return sum(entry.points for entry in self._entries)
+
+    def history(self) -> List[RewardEntry]:
+        return list(self._entries)

@@ -1,0 +1,106 @@
+"""Landmark-based routes (Definition 3 of the paper).
+
+A :class:`LandmarkRoute` pairs a candidate route with the ordered sequence of
+landmarks it passes, produced by anchor-based calibration.  Task generation
+works entirely on these landmark sequences: questions are about landmarks, and
+two routes are distinguishable only through landmarks that appear on one but
+not the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..exceptions import TaskGenerationError
+from ..landmarks.model import LandmarkCatalog
+from ..routing.base import CandidateRoute
+from ..trajectory.calibration import AnchorCalibrator
+
+
+@dataclass(frozen=True)
+class LandmarkRoute:
+    """A candidate route rewritten as a finite sequence of landmarks."""
+
+    route: CandidateRoute
+    landmark_sequence: Tuple[int, ...]
+
+    def __init__(self, route: CandidateRoute, landmark_sequence: Sequence[int]):
+        object.__setattr__(self, "route", route)
+        object.__setattr__(self, "landmark_sequence", tuple(landmark_sequence))
+
+    @property
+    def landmark_set(self) -> FrozenSet[int]:
+        """The set of landmark ids this route passes."""
+        return frozenset(self.landmark_sequence)
+
+    @property
+    def source(self) -> str:
+        return self.route.source
+
+    def passes(self, landmark_id: int) -> bool:
+        """True if the route passes the landmark."""
+        return landmark_id in self.landmark_set
+
+    def restricted_to(self, landmark_ids: Sequence[int]) -> FrozenSet[int]:
+        """The joint set ``R̄ ∩ L`` used by the discriminative-set definition."""
+        wanted = set(landmark_ids)
+        return frozenset(landmark_id for landmark_id in self.landmark_sequence if landmark_id in wanted)
+
+
+def to_landmark_routes(
+    candidates: Sequence[CandidateRoute],
+    calibrator: AnchorCalibrator,
+) -> List[LandmarkRoute]:
+    """Calibrate every candidate route into its landmark-based form."""
+    landmark_routes = []
+    for candidate in candidates:
+        sequence = calibrator.calibrate_path(candidate.path)
+        landmark_routes.append(LandmarkRoute(candidate, sequence))
+    return landmark_routes
+
+
+def beneficial_landmarks(routes: Sequence[LandmarkRoute]) -> List[int]:
+    """Landmarks on some but not all routes: ``union - intersection``.
+
+    Landmarks on every route (or on none) cannot distinguish anything, so the
+    selection algorithms filter them out first (the paper's "preparation
+    step").
+    """
+    if not routes:
+        return []
+    union = set()
+    intersection: Optional[set] = None
+    for route in routes:
+        landmark_set = set(route.landmark_set)
+        union |= landmark_set
+        intersection = landmark_set if intersection is None else (intersection & landmark_set)
+    return sorted(union - (intersection or set()))
+
+
+def ensure_distinguishable(routes: Sequence[LandmarkRoute]) -> None:
+    """Raise :class:`TaskGenerationError` if two routes share the same landmark set.
+
+    Two candidate routes that pass exactly the same landmarks cannot be told
+    apart by any landmark question; the caller should deduplicate them (they
+    are, for the crowd's purposes, the same route).
+    """
+    seen: Dict[FrozenSet[int], str] = {}
+    for route in routes:
+        key = route.landmark_set
+        if key in seen:
+            raise TaskGenerationError(
+                f"routes from {seen[key]!r} and {route.source!r} pass identical "
+                "landmark sets and cannot be distinguished by landmark questions"
+            )
+        seen[key] = route.source
+
+
+def significance_lookup(routes: Sequence[LandmarkRoute], catalog: LandmarkCatalog) -> Dict[int, float]:
+    """Significance of every landmark appearing on any of the routes."""
+    scores: Dict[int, float] = {}
+    for route in routes:
+        for landmark_id in route.landmark_sequence:
+            if landmark_id not in scores:
+                scores[landmark_id] = catalog.significance_of(landmark_id)
+    return scores

@@ -1,0 +1,135 @@
+"""Crowdsourcing task objects: questions, answers and task results."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import TaskGenerationError
+from ..landmarks.model import LandmarkCatalog
+from ..routing.base import CandidateRoute, RouteQuery
+from .question_ordering import QuestionTree
+from .route import LandmarkRoute
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Question:
+    """A single binary question shown to a worker.
+
+    The wording follows the paper's example: "do you prefer the route passing
+    <landmark> (around <time>)?".
+    """
+
+    landmark_id: int
+    text: str
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One worker's yes/no answer to one question."""
+
+    worker_id: int
+    landmark_id: int
+    says_yes: bool
+    response_time_s: float = 0.0
+
+
+@dataclass
+class WorkerResponse:
+    """A worker's complete pass over a task: the questions asked and the
+    route their answers resolved to."""
+
+    worker_id: int
+    answers: List[Answer]
+    chosen_route_index: int
+    total_response_time_s: float
+
+    @property
+    def questions_answered(self) -> int:
+        return len(self.answers)
+
+
+@dataclass
+class Task:
+    """A crowdsourcing task for one route-recommendation request.
+
+    A task bundles the original query, the candidate routes in landmark-based
+    form, the selected (discriminative) landmark set and the ID3 question
+    tree that orders the questions.
+    """
+
+    query: RouteQuery
+    landmark_routes: List[LandmarkRoute]
+    selected_landmarks: Tuple[int, ...]
+    question_tree: QuestionTree
+    questions: Dict[int, Question]
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    @property
+    def candidate_routes(self) -> List[CandidateRoute]:
+        return [landmark_route.route for landmark_route in self.landmark_routes]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.landmark_routes)
+
+    def question_for(self, landmark_id: int) -> Question:
+        try:
+            return self.questions[landmark_id]
+        except KeyError:
+            raise TaskGenerationError(
+                f"task {self.task_id} has no question about landmark {landmark_id}"
+            ) from None
+
+    def route_index(self, landmark_route: LandmarkRoute) -> int:
+        """Index of a landmark route within the task's candidate list."""
+        for index, candidate in enumerate(self.landmark_routes):
+            if candidate is landmark_route or (
+                candidate.route.path == landmark_route.route.path
+                and candidate.source == landmark_route.source
+            ):
+                return index
+        raise TaskGenerationError("route does not belong to this task")
+
+    def max_questions(self) -> int:
+        """Worst-case number of questions a worker may be asked."""
+        return self.question_tree.depth()
+
+    def expected_questions(self) -> float:
+        """Expected number of questions under a uniform route prior."""
+        return self.question_tree.expected_questions()
+
+
+@dataclass
+class TaskResult:
+    """Aggregated outcome of a task after (a subset of) workers responded."""
+
+    task: Task
+    responses: List[WorkerResponse]
+    votes: Dict[int, int]
+    winning_route_index: int
+    confidence: float
+    stopped_early: bool
+
+    @property
+    def winning_route(self) -> CandidateRoute:
+        return self.task.candidate_routes[self.winning_route_index]
+
+    @property
+    def total_questions_asked(self) -> int:
+        return sum(response.questions_answered for response in self.responses)
+
+
+def render_question(landmark_id: int, catalog: LandmarkCatalog, departure_time_s: float) -> Question:
+    """Produce the human-readable binary question about a landmark."""
+    landmark = catalog.get(landmark_id)
+    hour = int(departure_time_s // 3600) % 24
+    minute = int((departure_time_s % 3600) // 60)
+    text = (
+        f"Travelling around {hour:02d}:{minute:02d}, would you prefer the route "
+        f"passing {landmark.name}?"
+    )
+    return Question(landmark_id=landmark_id, text=text)

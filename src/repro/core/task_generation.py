@@ -1,0 +1,101 @@
+"""Task generation (Section III): from candidate routes to a crowd task.
+
+The three phases of the paper are wired together here:
+
+1. landmark significance is read from the (already inferred) catalogue;
+2. landmark selection picks a small, highly significant, discriminative set
+   (:mod:`repro.core.landmark_selection`);
+3. question ordering builds the ID3 tree that minimises the expected number
+   of questions (:mod:`repro.core.question_ordering`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import TaskGenerationError
+from ..landmarks.model import LandmarkCatalog
+from ..routing.base import CandidateRoute, RouteQuery
+from ..trajectory.calibration import AnchorCalibrator
+from .landmark_selection import GreedySelector, SelectionResult, _SelectorBase
+from .question_ordering import build_question_tree
+from .route import LandmarkRoute, significance_lookup, to_landmark_routes
+from .task import Question, Task, render_question
+
+
+class TaskGenerator:
+    """Builds crowdsourcing tasks from candidate route sets.
+
+    Parameters
+    ----------
+    calibrator:
+        Anchor calibrator used to rewrite candidate routes into landmark form.
+    catalog:
+        Landmark catalogue (provides names and significance scores).
+    selector:
+        Landmark-selection algorithm; defaults to :class:`GreedySelector`
+        capped at 25 candidate landmarks, which keeps worst-case latency
+        bounded while matching the exact optimum on typical inputs.
+    """
+
+    def __init__(
+        self,
+        calibrator: AnchorCalibrator,
+        catalog: LandmarkCatalog,
+        selector: Optional[_SelectorBase] = None,
+    ):
+        self.calibrator = calibrator
+        self.catalog = catalog
+        self.selector = selector or GreedySelector(max_candidate_landmarks=25)
+
+    # ------------------------------------------------------------------ steps
+    def calibrate(self, candidates: Sequence[CandidateRoute]) -> List[LandmarkRoute]:
+        """Rewrite candidate routes into landmark-based routes, dropping duplicates.
+
+        Routes whose landmark sets are identical are indistinguishable to the
+        crowd; only the first of each group (highest support first) is kept.
+        """
+        landmark_routes = to_landmark_routes(candidates, self.calibrator)
+        landmark_routes.sort(key=lambda lr: (-lr.route.support, lr.source))
+        unique: List[LandmarkRoute] = []
+        seen = set()
+        for landmark_route in landmark_routes:
+            key = landmark_route.landmark_set
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(landmark_route)
+        return unique
+
+    def select_landmarks(self, landmark_routes: Sequence[LandmarkRoute]) -> SelectionResult:
+        """Run the configured landmark-selection algorithm."""
+        significance = significance_lookup(landmark_routes, self.catalog)
+        return self.selector.select(landmark_routes, significance)
+
+    # -------------------------------------------------------------- interface
+    def generate(self, query: RouteQuery, candidates: Sequence[CandidateRoute]) -> Task:
+        """Generate the crowdsourcing task for ``query``.
+
+        Raises :class:`TaskGenerationError` when fewer than two distinct
+        candidate routes remain after calibration — in that case there is
+        nothing to ask the crowd and the single route is simply the answer.
+        """
+        landmark_routes = self.calibrate(candidates)
+        if len(landmark_routes) < 2:
+            raise TaskGenerationError(
+                "task generation needs at least two distinguishable candidate routes"
+            )
+        selection = self.select_landmarks(landmark_routes)
+        significance = significance_lookup(landmark_routes, self.catalog)
+        tree = build_question_tree(landmark_routes, selection.landmark_ids, significance)
+        questions: Dict[int, Question] = {
+            landmark_id: render_question(landmark_id, self.catalog, query.departure_time_s)
+            for landmark_id in selection.landmark_ids
+        }
+        return Task(
+            query=query,
+            landmark_routes=list(landmark_routes),
+            selected_landmarks=selection.landmark_ids,
+            question_tree=tree,
+            questions=questions,
+        )

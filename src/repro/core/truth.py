@@ -1,0 +1,144 @@
+"""Verified-truth database and truth reuse (Section II-B1).
+
+Once a best route between two places (at a departure-time slot) has been
+verified — either because the candidate sources strongly agreed or because
+the crowd voted — it is stored as a :class:`VerifiedTruth`.  Subsequent
+requests whose endpoints fall within the reuse radius of a stored truth and
+whose departure time falls in the same time slot are answered immediately,
+which is the main lever the paper uses to keep crowdsourcing cost down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import DEFAULT_CONFIG, PlannerConfig
+from ..exceptions import TruthStoreError
+from ..roadnet.graph import RoadNetwork
+from ..routing.base import CandidateRoute, RouteQuery
+from ..spatial import GridIndex, Point
+
+_truth_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VerifiedTruth:
+    """A verified best route between two places for one departure-time slot."""
+
+    truth_id: int
+    origin: Point
+    destination: Point
+    time_slot: int
+    route: CandidateRoute
+    verified_by: str
+    confidence: float
+
+    @property
+    def source(self) -> str:
+        return self.route.source
+
+
+class TruthDatabase:
+    """Stores verified truths and answers reuse lookups."""
+
+    def __init__(self, network: RoadNetwork, config: PlannerConfig = DEFAULT_CONFIG):
+        self.network = network
+        self.config = config
+        self._truths: Dict[int, VerifiedTruth] = {}
+        self._origin_index: GridIndex[int] = GridIndex(cell_size=max(200.0, config.truth_reuse_radius_m))
+
+    def __len__(self) -> int:
+        return len(self._truths)
+
+    # ------------------------------------------------------------------ time
+    def time_slot_of(self, departure_time_s: float) -> int:
+        """Map a departure time to its slot index."""
+        slot_width_s = self.config.truth_time_slot_minutes * 60
+        return int((departure_time_s % (24 * 3600)) // slot_width_s)
+
+    # ----------------------------------------------------------------- write
+    def record(
+        self,
+        query: RouteQuery,
+        route: CandidateRoute,
+        verified_by: str,
+        confidence: float,
+    ) -> VerifiedTruth:
+        """Store a verified truth for ``query``."""
+        if not 0.0 <= confidence <= 1.0:
+            raise TruthStoreError("confidence must be in [0, 1]")
+        truth = VerifiedTruth(
+            truth_id=next(_truth_ids),
+            origin=self.network.node_location(query.origin),
+            destination=self.network.node_location(query.destination),
+            time_slot=self.time_slot_of(query.departure_time_s),
+            route=route,
+            verified_by=verified_by,
+            confidence=confidence,
+        )
+        self._truths[truth.truth_id] = truth
+        self._origin_index.insert(truth.truth_id, truth.origin)
+        return truth
+
+    # ------------------------------------------------------------------ read
+    def get(self, truth_id: int) -> VerifiedTruth:
+        try:
+            return self._truths[truth_id]
+        except KeyError:
+            raise TruthStoreError(f"unknown truth id {truth_id}") from None
+
+    def all(self) -> List[VerifiedTruth]:
+        return list(self._truths.values())
+
+    def lookup(self, query: RouteQuery) -> Optional[VerifiedTruth]:
+        """Return a reusable truth for ``query`` or ``None``.
+
+        A truth is reusable when both endpoints are within the reuse radius
+        and the departure-time slot matches.  The closest-origin match wins.
+        """
+        origin = self.network.node_location(query.origin)
+        destination = self.network.node_location(query.destination)
+        slot = self.time_slot_of(query.departure_time_s)
+        radius = self.config.truth_reuse_radius_m
+        matches: List[Tuple[float, VerifiedTruth]] = []
+        for truth_id, origin_distance in self._origin_index.within_radius(origin, radius):
+            truth = self._truths[truth_id]
+            if truth.time_slot != slot:
+                continue
+            if truth.destination.distance_to(destination) > radius:
+                continue
+            matches.append((origin_distance, truth))
+        if not matches:
+            return None
+        matches.sort(key=lambda item: (item[0], item[1].truth_id))
+        return matches[0][1]
+
+    def truths_near(
+        self,
+        origin: Point,
+        destination: Point,
+        radius_m: float,
+        time_slot: Optional[int] = None,
+    ) -> List[VerifiedTruth]:
+        """Truths whose endpoints are within ``radius_m`` of the given points.
+
+        Used by the route-evaluation component to compute confidence scores
+        from previously verified knowledge in the neighbourhood.
+        """
+        results = []
+        for truth_id, _ in self._origin_index.within_radius(origin, radius_m):
+            truth = self._truths[truth_id]
+            if truth.destination.distance_to(destination) > radius_m:
+                continue
+            if time_slot is not None and truth.time_slot != time_slot:
+                continue
+            results.append(truth)
+        return results
+
+    def hit_rate(self, hits: int, total: int) -> float:
+        """Convenience: fraction of requests served from the truth store."""
+        if total <= 0:
+            return 0.0
+        return hits / total

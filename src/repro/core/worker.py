@@ -1,0 +1,125 @@
+"""Worker profiles and the worker pool (Section IV).
+
+A :class:`Worker` is a registered CrowdPlanner user who can be assigned
+evaluation tasks.  The profile captures what the worker-selection math needs:
+home / work / familiar-place anchors, answer history per landmark, outstanding
+task load and the response-rate parameter of the exponential response-time
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import WorkerSelectionError
+from ..spatial import Point
+
+
+@dataclass
+class AnswerRecord:
+    """Per-landmark answer history of a worker."""
+
+    correct: int = 0
+    wrong: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.correct + self.wrong
+
+
+@dataclass
+class Worker:
+    """A registered crowd worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Unique identifier.
+    home, workplace:
+        Profile anchor points collected at registration.
+    familiar_places:
+        Additional places the worker declared familiarity with.
+    response_rate:
+        ``lambda`` of the exponential response-time distribution (answers per
+        second); higher means faster.
+    outstanding_tasks:
+        Number of currently assigned, unanswered tasks.
+    reward_points:
+        Accumulated reward balance.
+    """
+
+    worker_id: int
+    home: Point
+    workplace: Point
+    familiar_places: List[Point] = field(default_factory=list)
+    response_rate: float = 1.0 / 600.0
+    outstanding_tasks: int = 0
+    reward_points: float = 0.0
+    answer_history: Dict[int, AnswerRecord] = field(default_factory=dict)
+
+    def record_answer(self, landmark_id: int, correct: bool) -> None:
+        """Update the per-landmark answer history after task verification."""
+        record = self.answer_history.setdefault(landmark_id, AnswerRecord())
+        if correct:
+            record.correct += 1
+        else:
+            record.wrong += 1
+
+    def history_for(self, landmark_id: int) -> AnswerRecord:
+        return self.answer_history.get(landmark_id, AnswerRecord())
+
+    def anchors(self) -> List[Point]:
+        """Home, workplace and declared familiar places."""
+        return [self.home, self.workplace, *self.familiar_places]
+
+    def nearest_familiar_place(self, target: Point) -> Point:
+        """The declared familiar place closest to ``target`` (home if none declared)."""
+        if not self.familiar_places:
+            return self.home
+        return min(self.familiar_places, key=lambda place: place.distance_to(target))
+
+
+class WorkerPool:
+    """The registry of all workers known to the system."""
+
+    def __init__(self, workers: Optional[Iterable[Worker]] = None):
+        self._workers: Dict[int, Worker] = {}
+        if workers:
+            for worker in workers:
+                self.add(worker)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers.values())
+
+    def __contains__(self, worker_id: int) -> bool:
+        return worker_id in self._workers
+
+    def add(self, worker: Worker) -> None:
+        if worker.worker_id in self._workers:
+            raise WorkerSelectionError(f"worker id {worker.worker_id} already registered")
+        self._workers[worker.worker_id] = worker
+
+    def get(self, worker_id: int) -> Worker:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise WorkerSelectionError(f"unknown worker id {worker_id}") from None
+
+    def ids(self) -> List[int]:
+        return list(self._workers)
+
+    def workers(self) -> List[Worker]:
+        return list(self._workers.values())
+
+    def assign(self, worker_id: int) -> None:
+        """Increment a worker's outstanding-task counter."""
+        self.get(worker_id).outstanding_tasks += 1
+
+    def release(self, worker_id: int) -> None:
+        """Decrement a worker's outstanding-task counter (not below zero)."""
+        worker = self.get(worker_id)
+        worker.outstanding_tasks = max(0, worker.outstanding_tasks - 1)

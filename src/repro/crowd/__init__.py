@@ -1,0 +1,12 @@
+"""Simulated crowd: worker population generation and answering behaviour."""
+
+from .population import WorkerPopulationConfig, generate_worker_pool
+from .behavior import AnswerBehaviorModel
+from .simulator import SimulatedCrowd
+
+__all__ = [
+    "WorkerPopulationConfig",
+    "generate_worker_pool",
+    "AnswerBehaviorModel",
+    "SimulatedCrowd",
+]

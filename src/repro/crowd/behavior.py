@@ -1,0 +1,85 @@
+"""Worker answering behaviour.
+
+When a (simulated) worker is asked "would you prefer the route passing
+landmark X?", their answer depends on whether they actually know the area.
+The behaviour model turns a worker's *true* spatial knowledge into a
+probability of answering the question consistently with the ground-truth best
+route:
+
+* a worker whose anchors are close to the landmark answers correctly with
+  high probability (up to ``max_accuracy``);
+* a worker with no knowledge of the area answers essentially at random
+  (``0.5``).
+
+This is the behavioural assumption that makes worker selection matter: tasks
+answered by knowledgeable workers yield the right route, tasks answered by
+random workers yield noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..landmarks.model import LandmarkCatalog
+from ..spatial import Point
+from ..core.worker import Worker
+
+
+@dataclass(frozen=True)
+class AnswerBehaviorModel:
+    """Maps true worker knowledge to answer accuracy.
+
+    Attributes
+    ----------
+    knowledge_radius_m:
+        Distance from a worker anchor within which the worker "knows" a
+        landmark well.
+    max_accuracy:
+        Probability of a correct answer for a perfectly knowledgeable worker.
+    base_accuracy:
+        Probability of a correct answer for a worker with no knowledge
+        (random guessing = 0.5).
+    """
+
+    knowledge_radius_m: float = 2_500.0
+    max_accuracy: float = 0.95
+    base_accuracy: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.knowledge_radius_m <= 0:
+            raise ConfigurationError("knowledge_radius_m must be positive")
+        if not 0.0 <= self.base_accuracy <= self.max_accuracy <= 1.0:
+            raise ConfigurationError("need 0 <= base_accuracy <= max_accuracy <= 1")
+
+    def knowledge_of(self, worker: Worker, landmark_anchor: Point) -> float:
+        """The worker's true knowledge of the landmark's area, in [0, 1].
+
+        Knowledge decays linearly with the distance from the nearest anchor
+        and reaches zero at twice the knowledge radius.
+        """
+        nearest = min(anchor.distance_to(landmark_anchor) for anchor in worker.anchors())
+        if nearest <= self.knowledge_radius_m:
+            return 1.0 - 0.5 * (nearest / self.knowledge_radius_m)
+        if nearest >= 2 * self.knowledge_radius_m:
+            return 0.0
+        return 0.5 * (2.0 - nearest / self.knowledge_radius_m)
+
+    def answer_accuracy(self, worker: Worker, landmark_anchor: Point) -> float:
+        """Probability the worker answers a question about this landmark correctly."""
+        knowledge = self.knowledge_of(worker, landmark_anchor)
+        return self.base_accuracy + (self.max_accuracy - self.base_accuracy) * knowledge
+
+    def answer(
+        self,
+        worker: Worker,
+        landmark_anchor: Point,
+        truthful_answer: bool,
+        rng: random.Random,
+    ) -> bool:
+        """Sample the worker's yes/no answer given the ground-truth answer."""
+        if rng.random() < self.answer_accuracy(worker, landmark_anchor):
+            return truthful_answer
+        return not truthful_answer

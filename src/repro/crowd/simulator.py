@@ -1,0 +1,124 @@
+"""The simulated crowd backend.
+
+:class:`SimulatedCrowd` stands in for the mobile clients of real workers: for
+every assigned worker it walks the task's question tree, samples each binary
+answer from the worker's :class:`~repro.crowd.behavior.AnswerBehaviorModel`
+(against the ground-truth driver-preferred route), samples a response time
+from the worker's exponential rate, and returns the responses in arrival
+order — which is what makes early stopping meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.planner import CrowdBackend
+from ..core.task import Answer, Task, WorkerResponse
+from ..core.worker import WorkerPool
+from ..exceptions import CrowdPlannerError
+from ..landmarks.model import LandmarkCatalog
+from ..routing.base import RouteQuery
+from ..trajectory.calibration import AnchorCalibrator
+from ..utils.rng import derive_rng
+from .behavior import AnswerBehaviorModel
+
+GroundTruthProvider = Callable[[RouteQuery], Sequence[int]]
+"""Maps a query to the ground-truth driver-preferred node path."""
+
+
+class SimulatedCrowd(CrowdBackend):
+    """Simulates workers answering CrowdPlanner tasks.
+
+    Parameters
+    ----------
+    pool:
+        The worker registry (profiles provide anchors and response rates).
+    catalog:
+        Landmark catalogue (anchors of the questioned landmarks).
+    calibrator:
+        Used to express the ground-truth route as a landmark set.
+    ground_truth:
+        Callable mapping a query to the driver-preferred node path the
+        simulated workers' knowledge is based on.
+    behavior:
+        Accuracy model; defaults to :class:`AnswerBehaviorModel`.
+    seed:
+        Seed for answer sampling and response times.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        catalog: LandmarkCatalog,
+        calibrator: AnchorCalibrator,
+        ground_truth: GroundTruthProvider,
+        behavior: Optional[AnswerBehaviorModel] = None,
+        seed: int = 37,
+    ):
+        self.pool = pool
+        self.catalog = catalog
+        self.calibrator = calibrator
+        self.ground_truth = ground_truth
+        self.behavior = behavior or AnswerBehaviorModel()
+        self.seed = seed
+        self._task_counter = 0
+
+    # ------------------------------------------------------------- interface
+    def collect_responses(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
+        """Simulate every assigned worker and return responses in arrival order."""
+        if not worker_ids:
+            raise CrowdPlannerError("collect_responses called with no workers")
+        self._task_counter += 1
+        rng = derive_rng(self.seed, f"task-{task.task_id}-{self._task_counter}")
+        truth_landmarks = self._ground_truth_landmarks(task.query)
+
+        responses = []
+        for worker_id in worker_ids:
+            responses.append(self._simulate_worker(task, worker_id, truth_landmarks, rng))
+        responses.sort(key=lambda response: (response.total_response_time_s, response.worker_id))
+        return responses
+
+    # -------------------------------------------------------------- internal
+    def _ground_truth_landmarks(self, query: RouteQuery) -> frozenset:
+        path = list(self.ground_truth(query))
+        if len(path) < 2:
+            raise CrowdPlannerError("ground-truth provider returned an invalid path")
+        return frozenset(self.calibrator.calibrate_path(path))
+
+    def _simulate_worker(
+        self,
+        task: Task,
+        worker_id: int,
+        truth_landmarks: frozenset,
+        rng: random.Random,
+    ) -> WorkerResponse:
+        worker = self.pool.get(worker_id)
+        node = task.question_tree.root
+        answers: List[Answer] = []
+        per_question_time = 1.0 / max(worker.response_rate, 1e-9) / max(1, task.max_questions())
+        total_time = 0.0
+        while not node.is_leaf:
+            landmark_id = node.landmark_id
+            anchor = self.catalog.get(landmark_id).anchor
+            truthful = landmark_id in truth_landmarks
+            says_yes = self.behavior.answer(worker, anchor, truthful, rng)
+            elapsed = rng.expovariate(1.0 / per_question_time) if per_question_time > 0 else 0.0
+            total_time += elapsed
+            answers.append(
+                Answer(
+                    worker_id=worker_id,
+                    landmark_id=landmark_id,
+                    says_yes=says_yes,
+                    response_time_s=elapsed,
+                )
+            )
+            node = node.yes_child if says_yes else node.no_child
+        decided = node.decided_route
+        chosen_index = task.route_index(decided)
+        return WorkerResponse(
+            worker_id=worker_id,
+            answers=answers,
+            chosen_route_index=chosen_index,
+            total_response_time_s=total_time,
+        )

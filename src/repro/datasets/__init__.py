@@ -1,0 +1,12 @@
+"""End-to-end synthetic scenarios and query workloads."""
+
+from .synthetic_city import Scenario, SyntheticCityConfig, build_scenario
+from .workloads import QueryWorkloadConfig, generate_query_workload
+
+__all__ = [
+    "Scenario",
+    "SyntheticCityConfig",
+    "build_scenario",
+    "QueryWorkloadConfig",
+    "generate_query_workload",
+]

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the CrowdPlanner reproduction.
+
+Every error raised intentionally by the library derives from
+:class:`CrowdPlannerError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class CrowdPlannerError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SpatialError(CrowdPlannerError):
+    """Invalid geometry or spatial-index misuse."""
+
+
+class RoadNetworkError(CrowdPlannerError):
+    """Malformed road network or reference to a missing node / edge."""
+
+
+class NoPathError(RoadNetworkError):
+    """Raised when no path exists between the requested origin and destination."""
+
+    def __init__(self, origin, destination, message: str | None = None):
+        self.origin = origin
+        self.destination = destination
+        super().__init__(
+            message
+            or f"no path exists between node {origin!r} and node {destination!r}"
+        )
+
+
+class TrajectoryError(CrowdPlannerError):
+    """Malformed trajectory data (empty, unsorted timestamps, off-network points)."""
+
+
+class CalibrationError(TrajectoryError):
+    """Anchor-based calibration could not map a route onto landmarks."""
+
+
+class LandmarkError(CrowdPlannerError):
+    """Invalid landmark definition or unknown landmark identifier."""
+
+
+class RoutingError(CrowdPlannerError):
+    """A candidate-route source failed to produce a route."""
+
+
+class InsufficientSupportError(RoutingError):
+    """A popular-route miner did not find enough historical trajectories.
+
+    The paper motivates CrowdPlanner with exactly this failure mode: in sparse
+    regions the "popular" route degenerates, so the miner must say so rather
+    than return an arbitrary route.
+    """
+
+    def __init__(self, origin, destination, support: int, required: int):
+        self.origin = origin
+        self.destination = destination
+        self.support = support
+        self.required = required
+        super().__init__(
+            f"only {support} supporting trajectories between {origin!r} and "
+            f"{destination!r}; {required} required"
+        )
+
+
+class TaskGenerationError(CrowdPlannerError):
+    """Task generation failed (e.g. no discriminative landmark set exists)."""
+
+
+class WorkerSelectionError(CrowdPlannerError):
+    """Worker selection failed (e.g. no eligible worker satisfies the filters)."""
+
+
+class TruthStoreError(CrowdPlannerError):
+    """Invalid interaction with the verified-truth database."""
+
+
+class ConfigurationError(CrowdPlannerError):
+    """Invalid configuration value."""

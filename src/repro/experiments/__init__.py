@@ -1,0 +1,17 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+Each ``exp_*`` module regenerates one table/figure of the evaluation (see
+DESIGN.md section 3 for the experiment index).  Every experiment exposes a
+``run(...)`` function returning an :class:`~repro.experiments.metrics.ExperimentResult`
+whose rows can be printed as the corresponding table.
+"""
+
+from .metrics import ExperimentResult, route_similarity, route_quality
+from .harness import ExperimentRunner
+
+__all__ = [
+    "ExperimentResult",
+    "route_similarity",
+    "route_quality",
+    "ExperimentRunner",
+]

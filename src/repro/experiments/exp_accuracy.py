@@ -1,0 +1,100 @@
+"""E1 — Quality of recommended routes by source.
+
+Reproduces the paper's headline comparison: how closely the routes returned by
+web-service routing (shortest / fastest), the popular-route miners (MPR, LDR,
+MFP) and the full CrowdPlanner pipeline match the routes experienced drivers
+prefer.  The paper's qualitative findings are:
+
+* provider routes deviate from driver-preferred routes;
+* among the miners, MFP most often gives the best route;
+* CrowdPlanner (which arbitrates between all of them with crowd help) gives
+  the best route essentially always.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..datasets.synthetic_city import Scenario
+from ..exceptions import CrowdPlannerError, RoutingError
+from ..routing.base import RouteQuery
+from ..utils.stats import mean
+from .metrics import ExperimentResult, exact_match, route_quality, route_similarity
+
+
+@dataclass(frozen=True)
+class AccuracyExperimentConfig:
+    """Workload parameters for E1."""
+
+    num_queries: int = 30
+    win_similarity_margin: float = 1e-9
+    seed: int = 61
+
+
+def run(scenario: Scenario, config: Optional[AccuracyExperimentConfig] = None) -> ExperimentResult:
+    """Run E1 on a built scenario."""
+    config = config or AccuracyExperimentConfig()
+    planner = scenario.build_planner()
+    queries = scenario.sample_queries(config.num_queries, seed=config.seed)
+
+    per_source_quality: Dict[str, List[float]] = defaultdict(list)
+    per_source_exact: Dict[str, List[float]] = defaultdict(list)
+    per_source_produced: Dict[str, int] = defaultdict(int)
+    wins: Dict[str, int] = defaultdict(int)
+    judged_queries = 0
+
+    for query in queries:
+        truth = scenario.ground_truth_path(query)
+        qualities: Dict[str, float] = {}
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None:
+                continue
+            per_source_produced[source.name] += 1
+            quality = route_quality(scenario.network, candidate.path, truth)
+            qualities[source.name] = quality
+            per_source_quality[source.name].append(quality)
+            per_source_exact[source.name].append(1.0 if exact_match(candidate.path, truth) else 0.0)
+
+        # The full system.
+        try:
+            recommendation = planner.recommend(query)
+        except (CrowdPlannerError, RoutingError):
+            continue
+        crowd_quality = route_quality(scenario.network, recommendation.route.path, truth)
+        per_source_quality["CrowdPlanner"].append(crowd_quality)
+        per_source_exact["CrowdPlanner"].append(
+            1.0 if exact_match(recommendation.route.path, truth) else 0.0
+        )
+        per_source_produced["CrowdPlanner"] += 1
+        qualities["CrowdPlanner"] = crowd_quality
+
+        if qualities:
+            judged_queries += 1
+            best_quality = max(qualities.values())
+            for name, quality in qualities.items():
+                if quality >= best_quality - config.win_similarity_margin:
+                    wins[name] += 1
+
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Route quality by recommendation source (vs. driver-preferred routes)",
+        notes={"num_queries": len(queries), "judged_queries": judged_queries},
+    )
+    for name in sorted(per_source_quality, key=lambda n: -mean(per_source_quality[n])):
+        result.add_row(
+            source=name,
+            mean_quality=mean(per_source_quality[name]),
+            exact_match_rate=mean(per_source_exact[name]),
+            win_rate=wins[name] / judged_queries if judged_queries else 0.0,
+            coverage=per_source_produced[name] / len(queries) if queries else 0.0,
+        )
+    if result.rows:
+        result.summary["best_source"] = result.best_row("mean_quality")["source"]
+        miner_rows = [row for row in result.rows if row["source"] in {"MPR", "LDR", "MFP"}]
+        if miner_rows:
+            best_miner = max(miner_rows, key=lambda row: row["mean_quality"])
+            result.summary["best_miner"] = best_miner["source"]
+    return result

@@ -1,0 +1,91 @@
+"""F2 — How much the candidate-route sources disagree.
+
+CrowdPlanner only earns its keep when the sources actually disagree — if the
+shortest route, the fastest route and the mined popular routes were always the
+same, no crowd would be needed.  This experiment buckets od-pairs by
+straight-line distance and reports the mean pairwise similarity between the
+sources' routes per bucket, plus the fraction of queries whose candidate set
+would pass the TR module's agreement check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import DEFAULT_CONFIG
+from ..datasets.synthetic_city import Scenario
+from ..routing.base import CandidateRoute
+from ..utils.stats import mean, pairs
+from .metrics import ExperimentResult
+
+
+@dataclass(frozen=True)
+class DisagreementExperimentConfig:
+    """Workload parameters for F2."""
+
+    num_queries: int = 40
+    distance_buckets_m: Sequence[float] = (1_500.0, 2_500.0, 4_000.0, float("inf"))
+    seed: int = 97
+
+
+def _bucket_label(distance: float, edges: Sequence[float]) -> str:
+    lower = 0.0
+    for edge in edges:
+        if distance < edge:
+            upper = "inf" if edge == float("inf") else f"{edge / 1000:.1f}km"
+            return f"{lower / 1000:.1f}-{upper}"
+        lower = edge
+    return f">{lower / 1000:.1f}km"
+
+
+def run(scenario: Scenario, config: Optional[DisagreementExperimentConfig] = None) -> ExperimentResult:
+    """Run F2 on a built scenario."""
+    config = config or DisagreementExperimentConfig()
+    queries = scenario.sample_queries(config.num_queries, seed=config.seed)
+    agreement_threshold = scenario.config.planner_config.agreement_threshold
+
+    per_bucket_similarity: Dict[str, List[float]] = {}
+    per_bucket_candidates: Dict[str, List[float]] = {}
+    per_bucket_agreement: Dict[str, List[float]] = {}
+
+    for query in queries:
+        candidates: List[CandidateRoute] = []
+        seen = set()
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 2:
+            continue
+        similarities = [a.similarity_to(b) for a, b in pairs(candidates)]
+        distance = scenario.network.node_location(query.origin).distance_to(
+            scenario.network.node_location(query.destination)
+        )
+        bucket = _bucket_label(distance, config.distance_buckets_m)
+        per_bucket_similarity.setdefault(bucket, []).append(mean(similarities))
+        per_bucket_candidates.setdefault(bucket, []).append(float(len(candidates)))
+        per_bucket_agreement.setdefault(bucket, []).append(
+            1.0 if mean(similarities) >= agreement_threshold else 0.0
+        )
+
+    result = ExperimentResult(
+        experiment_id="F2",
+        title="Disagreement between candidate-route sources by trip distance",
+        notes={"num_queries": len(queries), "agreement_threshold": agreement_threshold},
+    )
+    for bucket in sorted(per_bucket_similarity):
+        result.add_row(
+            distance_bucket=bucket,
+            mean_pairwise_similarity=mean(per_bucket_similarity[bucket]),
+            mean_distinct_candidates=mean(per_bucket_candidates[bucket]),
+            auto_agreement_rate=mean(per_bucket_agreement[bucket]),
+            queries=len(per_bucket_similarity[bucket]),
+        )
+    all_similarities = [value for values in per_bucket_similarity.values() for value in values]
+    result.summary["overall_mean_similarity"] = mean(all_similarities)
+    all_agreements = [value for values in per_bucket_agreement.values() for value in values]
+    result.summary["overall_auto_agreement_rate"] = mean(all_agreements)
+    return result

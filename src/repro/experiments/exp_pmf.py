@@ -1,0 +1,100 @@
+"""E6 — Probabilistic matrix factorization for familiarity completion.
+
+The familiarity matrix is sparse; the paper completes it with PMF so that
+workers who have never been asked about a landmark can still be ranked.  This
+experiment hides a fraction of the observed worker-landmark scores, completes
+the matrix with PMF, and compares the reconstruction error on the held-out
+cells against two baselines: predicting zero (no completion) and predicting
+the per-landmark mean of the observed scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.familiarity import FamiliarityModel
+from ..core.pmf import ProbabilisticMatrixFactorization
+from ..datasets.synthetic_city import Scenario
+from .metrics import ExperimentResult
+
+
+@dataclass(frozen=True)
+class PMFExperimentConfig:
+    """Sweep parameters for E6."""
+
+    holdout_fractions: Sequence[float] = (0.1, 0.25, 0.5)
+    latent_dim: int = 8
+    seed: int = 83
+
+
+def _holdout_split(
+    matrix: np.ndarray, fraction: float, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split observed cells into a training mask and a held-out mask."""
+    observed = np.argwhere(matrix > 0)
+    holdout_count = max(1, int(len(observed) * fraction))
+    indices = rng.choice(len(observed), size=holdout_count, replace=False)
+    holdout_mask = np.zeros(matrix.shape, dtype=bool)
+    for index in indices:
+        row, column = observed[index]
+        holdout_mask[row, column] = True
+    train_mask = (matrix > 0) & ~holdout_mask
+    return train_mask, holdout_mask
+
+
+def _rmse(predicted: np.ndarray, actual: np.ndarray, mask: np.ndarray) -> float:
+    if not mask.any():
+        return 0.0
+    difference = (predicted - actual)[mask]
+    return float(np.sqrt((difference**2).mean()))
+
+
+def run(scenario: Scenario, config: Optional[PMFExperimentConfig] = None) -> ExperimentResult:
+    """Run E6 on a built scenario's worker/landmark population."""
+    config = config or PMFExperimentConfig()
+    rng = np.random.default_rng(config.seed)
+
+    familiarity = FamiliarityModel(
+        scenario.worker_pool, scenario.catalog, scenario.config.planner_config
+    )
+    matrix = familiarity.build_raw_matrix()
+
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Familiarity completion error: PMF vs. no completion vs. column means",
+        notes={
+            "workers": matrix.shape[0],
+            "landmarks": matrix.shape[1],
+            "observed_density": float((matrix > 0).mean()),
+        },
+    )
+
+    for fraction in config.holdout_fractions:
+        train_mask, holdout_mask = _holdout_split(matrix, fraction, rng)
+        train_matrix = np.where(train_mask, matrix, 0.0)
+
+        pmf = ProbabilisticMatrixFactorization(latent_dim=config.latent_dim, seed=config.seed)
+        pmf.fit(train_matrix, train_mask)
+        predicted = pmf.predict()
+
+        zero_baseline = np.zeros_like(matrix)
+        column_sums = train_matrix.sum(axis=0)
+        column_counts = np.maximum(train_mask.sum(axis=0), 1)
+        column_means = column_sums / column_counts
+        mean_baseline = np.tile(column_means, (matrix.shape[0], 1))
+
+        result.add_row(
+            holdout_fraction=fraction,
+            pmf_rmse=_rmse(predicted, matrix, holdout_mask),
+            zero_baseline_rmse=_rmse(zero_baseline, matrix, holdout_mask),
+            column_mean_rmse=_rmse(mean_baseline, matrix, holdout_mask),
+            heldout_cells=int(holdout_mask.sum()),
+        )
+
+    result.summary["pmf_beats_zero_baseline"] = all(
+        row["pmf_rmse"] <= row["zero_baseline_rmse"] for row in result.rows
+    )
+    return result

@@ -1,0 +1,127 @@
+"""E3 — Number of questions per task.
+
+Task generation is supposed to keep tasks short.  This experiment measures,
+as a function of the number of candidate routes:
+
+* how many landmarks each selection algorithm picks and their mean
+  significance (Greedy vs. ILS vs. the keep-every-beneficial-landmark
+  baseline), and
+* how many questions a worker actually has to answer under ID3 ordering vs.
+  asking the selected questions in a random fixed order vs. asking all of
+  them (the ablation of the paper's question-ordering contribution).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.landmark_selection import GreedySelector, IncrementalLandmarkSelector, objective_value
+from ..core.question_ordering import build_question_tree
+from ..core.route import LandmarkRoute, beneficial_landmarks
+from ..utils.rng import derive_rng
+from ..utils.stats import mean
+from .metrics import ExperimentResult
+from .synthetic_routes import make_synthetic_landmark_routes
+
+
+@dataclass(frozen=True)
+class QuestionExperimentConfig:
+    """Workload parameters for E3."""
+
+    route_counts: Sequence[int] = (2, 3, 4, 5)
+    num_landmarks: int = 20
+    landmarks_per_route: int = 6
+    trials: int = 3
+    seed: int = 71
+
+
+def _expected_questions_random_order(
+    routes: Sequence[LandmarkRoute],
+    landmark_ids: Sequence[int],
+    rng: random.Random,
+    samples: int = 20,
+) -> float:
+    """Expected questions when the selected questions are asked in random order.
+
+    Questioning stops once the answers so far isolate a single route — the
+    fair counterpart of stopping at an ID3 leaf.
+    """
+    totals = []
+    for _ in range(samples):
+        order = list(landmark_ids)
+        rng.shuffle(order)
+        for target in routes:
+            remaining = list(routes)
+            asked = 0
+            for landmark_id in order:
+                if len(remaining) <= 1:
+                    break
+                asked += 1
+                answer = target.passes(landmark_id)
+                remaining = [route for route in remaining if route.passes(landmark_id) == answer]
+            totals.append(asked)
+    return mean(totals)
+
+
+def run(config: Optional[QuestionExperimentConfig] = None) -> ExperimentResult:
+    """Run E3 on synthetic candidate route sets."""
+    config = config or QuestionExperimentConfig()
+    rng = derive_rng(config.seed, "question-experiment")
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Questions per task: selection algorithm and ordering strategy",
+        notes={"trials": config.trials, "num_landmarks": config.num_landmarks},
+    )
+
+    for route_count in config.route_counts:
+        greedy_sizes: List[float] = []
+        greedy_values: List[float] = []
+        ils_values: List[float] = []
+        baseline_sizes: List[float] = []
+        id3_expected: List[float] = []
+        random_expected: List[float] = []
+        all_questions: List[float] = []
+
+        for trial in range(config.trials):
+            routes, significance = make_synthetic_landmark_routes(
+                route_count,
+                config.num_landmarks,
+                config.landmarks_per_route,
+                seed=config.seed + trial * 101 + route_count,
+            )
+            greedy = GreedySelector().select(routes, significance)
+            ils = IncrementalLandmarkSelector().select(routes, significance)
+            baseline_ids = beneficial_landmarks(routes)
+
+            greedy_sizes.append(len(greedy.landmark_ids))
+            greedy_values.append(greedy.value)
+            ils_values.append(ils.value)
+            baseline_sizes.append(len(baseline_ids))
+
+            tree = build_question_tree(routes, greedy.landmark_ids, significance)
+            id3_expected.append(tree.expected_questions())
+            random_expected.append(
+                _expected_questions_random_order(routes, greedy.landmark_ids, rng)
+            )
+            all_questions.append(float(len(greedy.landmark_ids)))
+
+        result.add_row(
+            candidate_routes=route_count,
+            selected_landmarks=mean(greedy_sizes),
+            beneficial_landmarks=mean(baseline_sizes),
+            greedy_objective=mean(greedy_values),
+            ils_objective=mean(ils_values),
+            id3_expected_questions=mean(id3_expected),
+            random_order_questions=mean(random_expected),
+            ask_all_questions=mean(all_questions),
+        )
+
+    result.summary["id3_vs_random_saving"] = (
+        1.0 - result.mean_of("id3_expected_questions") / max(result.mean_of("random_order_questions"), 1e-9)
+    )
+    result.summary["selected_vs_beneficial_ratio"] = result.mean_of("selected_landmarks") / max(
+        result.mean_of("beneficial_landmarks"), 1e-9
+    )
+    return result

@@ -1,0 +1,90 @@
+"""E4 — Efficiency of the landmark-selection algorithms.
+
+The paper motivates ILS and GreedySelect with the exponential cost of naive
+enumeration.  This experiment sweeps the number of candidate routes and the
+candidate-landmark count and measures wall-clock time and the number of sets
+each algorithm evaluates; brute force is only run on the smallest settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.landmark_selection import (
+    BruteForceSelector,
+    GreedySelector,
+    IncrementalLandmarkSelector,
+)
+from ..utils.timer import Timer
+from .metrics import ExperimentResult
+from .synthetic_routes import make_synthetic_landmark_routes
+
+
+@dataclass(frozen=True)
+class SelectionEfficiencyConfig:
+    """Sweep parameters for E4."""
+
+    route_counts: Sequence[int] = (3, 4, 5)
+    landmark_counts: Sequence[int] = (12, 16, 20)
+    landmarks_per_route: int = 6
+    brute_force_limit: int = 16
+    seed: int = 73
+
+
+def run(config: Optional[SelectionEfficiencyConfig] = None) -> ExperimentResult:
+    """Run E4 on synthetic candidate route sets."""
+    config = config or SelectionEfficiencyConfig()
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Landmark-selection efficiency: brute force vs. ILS vs. GreedySelect",
+        notes={"landmarks_per_route": config.landmarks_per_route},
+    )
+
+    for route_count in config.route_counts:
+        for landmark_count in config.landmark_counts:
+            routes, significance = make_synthetic_landmark_routes(
+                route_count,
+                landmark_count,
+                config.landmarks_per_route,
+                seed=config.seed + route_count * 37 + landmark_count,
+            )
+            row = {
+                "candidate_routes": route_count,
+                "landmarks": landmark_count,
+            }
+
+            greedy = GreedySelector()
+            with Timer() as greedy_timer:
+                greedy_result = greedy.select(routes, significance)
+            row["greedy_time_ms"] = greedy_timer.elapsed * 1000.0
+            row["greedy_sets_evaluated"] = greedy_result.evaluated_sets
+            row["greedy_value"] = greedy_result.value
+
+            ils = IncrementalLandmarkSelector()
+            with Timer() as ils_timer:
+                ils_result = ils.select(routes, significance)
+            row["ils_time_ms"] = ils_timer.elapsed * 1000.0
+            row["ils_sets_evaluated"] = ils_result.evaluated_sets
+            row["ils_value"] = ils_result.value
+
+            if landmark_count <= config.brute_force_limit:
+                brute = BruteForceSelector()
+                with Timer() as brute_timer:
+                    brute_result = brute.select(routes, significance)
+                row["brute_time_ms"] = brute_timer.elapsed * 1000.0
+                row["brute_sets_evaluated"] = brute_result.evaluated_sets
+                row["brute_value"] = brute_result.value
+
+            result.add_row(**row)
+
+    greedy_mean = result.mean_of("greedy_time_ms")
+    ils_mean = result.mean_of("ils_time_ms")
+    brute_values = [float(v) for v in result.column("brute_time_ms")]
+    result.summary["greedy_mean_time_ms"] = greedy_mean
+    result.summary["ils_mean_time_ms"] = ils_mean
+    if brute_values:
+        brute_mean = sum(brute_values) / len(brute_values)
+        result.summary["brute_mean_time_ms"] = brute_mean
+        result.summary["greedy_speedup_vs_brute"] = brute_mean / max(greedy_mean, 1e-9)
+    return result

@@ -1,0 +1,90 @@
+"""E2 — Truth reuse: how quickly repeated requests stop needing the crowd.
+
+The control-logic component answers a request from the verified-truth store
+whenever a matching truth exists, so as the request stream progresses the
+fraction of requests that reach the crowd module should fall.  This experiment
+replays a Zipf-skewed query workload and reports, per progress bucket, the
+truth hit rate and the number of crowd tasks issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..datasets.synthetic_city import Scenario
+from ..datasets.workloads import QueryWorkloadConfig, generate_query_workload
+from ..exceptions import CrowdPlannerError, RoutingError
+from .metrics import ExperimentResult
+
+
+@dataclass(frozen=True)
+class TruthReuseExperimentConfig:
+    """Workload parameters for E2."""
+
+    num_queries: int = 120
+    num_distinct_pairs: int = 25
+    num_buckets: int = 6
+    seed: int = 67
+
+
+def run(scenario: Scenario, config: Optional[TruthReuseExperimentConfig] = None) -> ExperimentResult:
+    """Run E2 on a built scenario."""
+    config = config or TruthReuseExperimentConfig()
+    planner = scenario.build_planner()
+    workload = generate_query_workload(
+        scenario.network,
+        scenario.hot_pairs,
+        QueryWorkloadConfig(
+            num_queries=config.num_queries,
+            num_distinct_pairs=config.num_distinct_pairs,
+            seed=config.seed,
+        ),
+    )
+
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Truth reuse over a repetitive request stream",
+        notes={"num_queries": len(workload), "distinct_pairs": config.num_distinct_pairs},
+    )
+
+    bucket_size = max(1, len(workload) // config.num_buckets)
+    bucket_hits = 0
+    bucket_crowd = 0
+    bucket_total = 0
+    processed = 0
+    for query in workload:
+        try:
+            recommendation = planner.recommend(query)
+        except (CrowdPlannerError, RoutingError):
+            continue
+        processed += 1
+        bucket_total += 1
+        if recommendation.method == "truth_reuse":
+            bucket_hits += 1
+        if recommendation.used_crowd:
+            bucket_crowd += 1
+        if bucket_total >= bucket_size:
+            result.add_row(
+                requests_processed=processed,
+                truth_hit_rate=bucket_hits / bucket_total,
+                crowd_task_rate=bucket_crowd / bucket_total,
+            )
+            bucket_hits = bucket_crowd = bucket_total = 0
+    if bucket_total:
+        result.add_row(
+            requests_processed=processed,
+            truth_hit_rate=bucket_hits / bucket_total,
+            crowd_task_rate=bucket_crowd / bucket_total,
+        )
+
+    stats = planner.statistics
+    result.summary.update(
+        {
+            "overall_truth_hit_rate": stats.truth_hits / max(1, stats.requests),
+            "overall_crowd_rate": stats.crowd_tasks / max(1, stats.requests),
+            "crowd_tasks": stats.crowd_tasks,
+            "requests": stats.requests,
+        }
+    )
+    return result

@@ -1,0 +1,72 @@
+"""One-stop runner for the whole experiment suite.
+
+``ExperimentRunner`` builds a scenario once and runs every experiment on it,
+collecting the :class:`~repro.experiments.metrics.ExperimentResult` objects and
+rendering them as the text report stored in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..datasets.synthetic_city import Scenario, SyntheticCityConfig, build_scenario
+from .metrics import ExperimentResult
+from . import (
+    exp_accuracy,
+    exp_disagreement,
+    exp_early_stop,
+    exp_pmf,
+    exp_questions,
+    exp_selection_efficiency,
+    exp_significance,
+    exp_truth_reuse,
+    exp_worker_selection,
+)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs the reconstructed evaluation suite on one scenario."""
+
+    scenario_config: SyntheticCityConfig = field(default_factory=SyntheticCityConfig)
+    scenario: Optional[Scenario] = None
+
+    def ensure_scenario(self) -> Scenario:
+        """Build (or reuse) the shared scenario."""
+        if self.scenario is None:
+            self.scenario = build_scenario(self.scenario_config)
+        return self.scenario
+
+    # ------------------------------------------------------------- registry
+    def available_experiments(self) -> Dict[str, Callable[[], ExperimentResult]]:
+        """Experiment id -> zero-argument callable running it."""
+        scenario = self.ensure_scenario()
+        return {
+            "E1": lambda: exp_accuracy.run(scenario),
+            "E2": lambda: exp_truth_reuse.run(scenario),
+            "E3": lambda: exp_questions.run(),
+            "E4": lambda: exp_selection_efficiency.run(),
+            "E5": lambda: exp_worker_selection.run(scenario),
+            "E6": lambda: exp_pmf.run(scenario),
+            "E7": lambda: exp_early_stop.run(scenario),
+            "F1": lambda: exp_significance.run(scenario),
+            "F2": lambda: exp_disagreement.run(scenario),
+        }
+
+    def run(self, experiment_ids: Optional[List[str]] = None) -> List[ExperimentResult]:
+        """Run the selected experiments (all of them by default), in id order."""
+        registry = self.available_experiments()
+        ids = experiment_ids or sorted(registry)
+        results = []
+        for experiment_id in ids:
+            if experiment_id not in registry:
+                raise KeyError(f"unknown experiment id {experiment_id!r}")
+            results.append(registry[experiment_id]())
+        return results
+
+    @staticmethod
+    def render_report(results: List[ExperimentResult]) -> str:
+        """Render all experiment tables as one text report."""
+        sections = [result.to_table() for result in results]
+        return "\n\n".join(sections)

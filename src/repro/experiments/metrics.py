@@ -1,0 +1,113 @@
+"""Shared metrics and result containers for the experiment suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..roadnet.graph import RoadNetwork
+from ..utils.stats import mean
+
+
+def route_similarity(path_a: Sequence[int], path_b: Sequence[int]) -> float:
+    """Edge-set Jaccard similarity between two node paths (1 = identical)."""
+    edges_a = set(zip(path_a, path_a[1:]))
+    edges_b = set(zip(path_b, path_b[1:]))
+    if not edges_a and not edges_b:
+        return 1.0
+    union = edges_a | edges_b
+    if not union:
+        return 1.0
+    return len(edges_a & edges_b) / len(union)
+
+
+def route_quality(
+    network: RoadNetwork,
+    recommended: Sequence[int],
+    ground_truth: Sequence[int],
+) -> float:
+    """Length-weighted overlap of the recommended route with the driver-preferred route.
+
+    The score is the fraction of the recommended route's length that lies on
+    edges the ground-truth route also uses — the measure of "how much of this
+    recommendation matches what experienced drivers actually do".
+    """
+    truth_edges = set(zip(ground_truth, ground_truth[1:]))
+    total = 0.0
+    shared = 0.0
+    for edge in zip(recommended, recommended[1:]):
+        length = network.edge(*edge).length_m
+        total += length
+        if edge in truth_edges:
+            shared += length
+    if total <= 0:
+        return 0.0
+    return shared / total
+
+
+def exact_match(path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+    """True if the two node paths are identical."""
+    return list(path_a) == list(path_b)
+
+
+@dataclass
+class ExperimentResult:
+    """A uniform container for experiment output.
+
+    ``rows`` is a list of dictionaries (one per table row); ``summary`` holds
+    headline numbers; ``notes`` records workload parameters for EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        """Values of one column across all rows (missing cells skipped)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def mean_of(self, name: str) -> float:
+        values = [float(v) for v in self.column(name)]
+        return mean(values)
+
+    def best_row(self, name: str, largest: bool = True) -> Dict[str, object]:
+        """The row with the largest (or smallest) value of column ``name``."""
+        candidates = [row for row in self.rows if name in row]
+        if not candidates:
+            raise ValueError(f"no row has column {name!r}")
+        return (max if largest else min)(candidates, key=lambda row: float(row[name]))
+
+    # ------------------------------------------------------------ rendering
+    def to_table(self) -> str:
+        """Render the rows as a fixed-width text table."""
+        if not self.rows:
+            return f"[{self.experiment_id}] {self.title}\n(no rows)"
+        columns = list(dict.fromkeys(key for row in self.rows for key in row))
+        rendered_rows = [
+            {column: _format_cell(row.get(column, "")) for column in columns} for row in self.rows
+        ]
+        widths = {
+            column: max(len(column), *(len(row[column]) for row in rendered_rows))
+            for column in columns
+        }
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        header = " | ".join(column.ljust(widths[column]) for column in columns)
+        lines.append(header)
+        lines.append("-+-".join("-" * widths[column] for column in columns))
+        for row in rendered_rows:
+            lines.append(" | ".join(row[column].ljust(widths[column]) for column in columns))
+        if self.summary:
+            lines.append("")
+            lines.append("summary: " + ", ".join(f"{k}={_format_cell(v)}" for k, v in self.summary.items()))
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,62 @@
+"""Synthetic landmark-route sets for the task-generation experiments.
+
+The landmark-selection efficiency experiment (E4) and parts of the question
+experiment (E3) need candidate route sets whose size and landmark count can be
+swept independently of any city; this module fabricates such sets directly at
+the landmark-route level while guaranteeing that the routes are pairwise
+distinguishable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.route import LandmarkRoute
+from ..routing.base import CandidateRoute
+from ..utils.rng import derive_rng
+
+
+def make_synthetic_landmark_routes(
+    num_routes: int,
+    num_landmarks: int,
+    landmarks_per_route: int = 8,
+    seed: int = 53,
+) -> Tuple[List[LandmarkRoute], Dict[int, float]]:
+    """Fabricate ``num_routes`` distinguishable landmark routes.
+
+    Returns the routes plus a significance score per landmark id (skewed, so
+    selection has meaningful choices to make).  Route paths are synthetic
+    two-node paths — only the landmark sequences matter to task generation.
+    """
+    if num_routes < 2:
+        raise ValueError("need at least two routes")
+    if num_landmarks < landmarks_per_route:
+        raise ValueError("num_landmarks must be at least landmarks_per_route")
+    rng = derive_rng(seed, f"synthetic-routes-{num_routes}-{num_landmarks}")
+
+    significance = {
+        landmark_id: round(rng.betavariate(1.2, 3.0), 4) for landmark_id in range(num_landmarks)
+    }
+
+    routes: List[LandmarkRoute] = []
+    seen_sets = set()
+    attempts = 0
+    while len(routes) < num_routes and attempts < num_routes * 200:
+        attempts += 1
+        count = max(2, min(num_landmarks, landmarks_per_route + rng.randint(-2, 2)))
+        sequence = rng.sample(range(num_landmarks), count)
+        signature = frozenset(sequence)
+        if signature in seen_sets:
+            continue
+        seen_sets.add(signature)
+        index = len(routes)
+        candidate = CandidateRoute(
+            path=[index * 2, index * 2 + 1],
+            source=f"synthetic-{index}",
+            support=rng.randint(0, 10),
+        )
+        routes.append(LandmarkRoute(candidate, sequence))
+    if len(routes) < num_routes:
+        raise ValueError("could not fabricate enough distinguishable routes")
+    return routes, significance

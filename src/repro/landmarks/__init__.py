@@ -1,0 +1,19 @@
+"""Landmark substrate: landmark model, synthetic POIs, check-ins and significance inference."""
+
+from .model import Landmark, LandmarkCatalog, LandmarkKind
+from .generator import LandmarkGeneratorConfig, generate_landmarks
+from .checkins import CheckIn, CheckInSimulator, CheckInSimulatorConfig
+from .significance import SignificanceInference, infer_significance
+
+__all__ = [
+    "Landmark",
+    "LandmarkCatalog",
+    "LandmarkKind",
+    "LandmarkGeneratorConfig",
+    "generate_landmarks",
+    "CheckIn",
+    "CheckInSimulator",
+    "CheckInSimulatorConfig",
+    "SignificanceInference",
+    "infer_significance",
+]

@@ -1,0 +1,114 @@
+"""Synthetic landmark (POI) generation.
+
+Landmarks are placed near road intersections — points of interest cluster on
+the street network — with a mix of point POIs, line landmarks (named streets)
+and region landmarks (suburbs / blocks).  Category and intrinsic
+attractiveness are drawn from a skewed distribution so a few landmarks are
+famous and most are obscure, mirroring real cities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..roadnet.graph import RoadNetwork
+from ..spatial import Point
+from ..utils.rng import derive_rng
+from .model import Landmark, LandmarkCatalog, LandmarkKind
+
+_CATEGORIES = [
+    ("landmark", 5.0),      # famous monuments — rare but hugely attractive
+    ("mall", 3.0),
+    ("transit_hub", 2.5),
+    ("hospital", 2.0),
+    ("university", 2.0),
+    ("park", 1.5),
+    ("restaurant", 1.0),
+    ("office", 0.7),
+    ("residential", 0.4),
+]
+
+_CATEGORY_WEIGHTS = [1, 3, 3, 4, 4, 8, 25, 22, 30]
+
+
+@dataclass(frozen=True)
+class LandmarkGeneratorConfig:
+    """Parameters of the synthetic landmark catalogue."""
+
+    count: int = 200
+    region_fraction: float = 0.1
+    line_fraction: float = 0.1
+    max_offset_m: float = 80.0
+    region_radius_m: float = 250.0
+    line_half_length_m: float = 180.0
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("count must be at least 1")
+        if not 0 <= self.region_fraction <= 1 or not 0 <= self.line_fraction <= 1:
+            raise ConfigurationError("fractions must be in [0, 1]")
+        if self.region_fraction + self.line_fraction > 1:
+            raise ConfigurationError("region_fraction + line_fraction must not exceed 1")
+
+
+def generate_landmarks(
+    network: RoadNetwork,
+    config: Optional[LandmarkGeneratorConfig] = None,
+) -> LandmarkCatalog:
+    """Generate a landmark catalogue anchored to the road network.
+
+    Returned landmarks have ``significance=0``; run significance inference
+    (:mod:`repro.landmarks.significance`) to populate the scores.
+    """
+    config = config or LandmarkGeneratorConfig()
+    rng = derive_rng(config.seed, "landmarks")
+    node_ids = network.node_ids()
+    if not node_ids:
+        raise ConfigurationError("cannot generate landmarks on an empty network")
+
+    catalog = LandmarkCatalog()
+    for landmark_id in range(config.count):
+        node_id = rng.choice(node_ids)
+        base = network.node_location(node_id)
+        anchor = Point(
+            base.x + rng.uniform(-config.max_offset_m, config.max_offset_m),
+            base.y + rng.uniform(-config.max_offset_m, config.max_offset_m),
+        )
+        kind, extent = _sample_kind(rng, config)
+        category, _ = rng.choices(_CATEGORIES, weights=_CATEGORY_WEIGHTS, k=1)[0]
+        catalog.add(
+            Landmark(
+                landmark_id=landmark_id,
+                name=f"{category}-{landmark_id}",
+                kind=kind,
+                anchor=anchor,
+                extent_m=extent,
+                significance=0.0,
+                category=category,
+            )
+        )
+    return catalog
+
+
+def intrinsic_attractiveness(landmark: Landmark) -> float:
+    """Latent attractiveness used by the check-in simulator.
+
+    Derived from the landmark category; callers never see this value directly
+    — significance must be *inferred* from the visits it induces, exactly as
+    the paper infers significance from check-in and taxi data.
+    """
+    weights: Dict[str, float] = {name: weight for name, weight in _CATEGORIES}
+    return weights.get(landmark.category, 1.0)
+
+
+def _sample_kind(rng: random.Random, config: LandmarkGeneratorConfig):
+    roll = rng.random()
+    if roll < config.region_fraction:
+        return LandmarkKind.REGION, config.region_radius_m
+    if roll < config.region_fraction + config.line_fraction:
+        return LandmarkKind.LINE, config.line_half_length_m
+    return LandmarkKind.POINT, 0.0

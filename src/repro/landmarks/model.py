@@ -1,0 +1,141 @@
+"""Landmark data model.
+
+Definition 2 of the paper: *a landmark is a geographical object in the space,
+which is stable and independent of the recommended routes; it can be a point
+(POI), a line (street) or a region (block, suburb)*.  Every landmark also
+carries a significance score ``l.s`` in [0, 1], inferred from check-ins and
+taxi visits (Section III-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..exceptions import LandmarkError
+from ..spatial import GridIndex, Point
+
+
+class LandmarkKind(enum.Enum):
+    """The three landmark shapes the paper distinguishes."""
+
+    POINT = "point"
+    LINE = "line"
+    REGION = "region"
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """A named geographical anchor.
+
+    Attributes
+    ----------
+    landmark_id:
+        Unique identifier.
+    name:
+        Human-readable name shown in crowd questions ("do you prefer the
+        route passing <name>?").
+    kind:
+        Point, line or region.
+    anchor:
+        Representative point (the POI itself, a line's midpoint, a region's
+        centroid).
+    extent_m:
+        Spatial extent: 0 for points, half-length for lines, radius for
+        regions.  A route "passes" the landmark if it comes within
+        ``extent_m`` plus the calibrator's attach radius.
+    significance:
+        ``l.s`` — how widely known the landmark is, in [0, 1].
+    category:
+        POI category (mall, hospital, park, ...), used by check-in simulation
+        to skew attractiveness.
+    """
+
+    landmark_id: int
+    name: str
+    kind: LandmarkKind
+    anchor: Point
+    extent_m: float = 0.0
+    significance: float = 0.0
+    category: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.extent_m < 0:
+            raise LandmarkError("extent_m must be non-negative")
+        if not 0.0 <= self.significance <= 1.0:
+            raise LandmarkError("significance must lie in [0, 1]")
+
+    def with_significance(self, significance: float) -> "Landmark":
+        """Return a copy with a new significance score."""
+        return replace(self, significance=float(significance))
+
+
+class LandmarkCatalog:
+    """An id-keyed, spatially indexed collection of landmarks."""
+
+    def __init__(self, landmarks: Optional[Iterable[Landmark]] = None, cell_size: float = 400.0):
+        self._landmarks: Dict[int, Landmark] = {}
+        self._index: GridIndex[int] = GridIndex(cell_size=cell_size)
+        if landmarks:
+            for landmark in landmarks:
+                self.add(landmark)
+
+    def __len__(self) -> int:
+        return len(self._landmarks)
+
+    def __iter__(self) -> Iterator[Landmark]:
+        return iter(self._landmarks.values())
+
+    def __contains__(self, landmark_id: int) -> bool:
+        return landmark_id in self._landmarks
+
+    def add(self, landmark: Landmark) -> None:
+        """Add or replace a landmark."""
+        self._landmarks[landmark.landmark_id] = landmark
+        self._index.insert(landmark.landmark_id, landmark.anchor)
+
+    def get(self, landmark_id: int) -> Landmark:
+        try:
+            return self._landmarks[landmark_id]
+        except KeyError:
+            raise LandmarkError(f"unknown landmark id {landmark_id}") from None
+
+    def ids(self) -> List[int]:
+        return list(self._landmarks)
+
+    def all(self) -> List[Landmark]:
+        return list(self._landmarks.values())
+
+    def significance_of(self, landmark_id: int) -> float:
+        """``l.s`` of a landmark."""
+        return self.get(landmark_id).significance
+
+    def nearest(self, point: Point, max_radius: Optional[float] = None) -> Optional[Landmark]:
+        """The landmark whose anchor is closest to ``point``."""
+        result = self._index.nearest(point, max_radius=max_radius)
+        if result is None:
+            return None
+        return self._landmarks[result[0]]
+
+    def within_radius(self, point: Point, radius: float) -> List[Landmark]:
+        """Landmarks whose anchor lies within ``radius`` of ``point``."""
+        return [self._landmarks[lid] for lid, _ in self._index.within_radius(point, radius)]
+
+    def update_significances(self, scores: Dict[int, float]) -> "LandmarkCatalog":
+        """Return a new catalogue with significance scores replaced from ``scores``.
+
+        Landmarks missing from ``scores`` keep their current value.
+        """
+        updated = LandmarkCatalog()
+        for landmark in self:
+            if landmark.landmark_id in scores:
+                updated.add(landmark.with_significance(scores[landmark.landmark_id]))
+            else:
+                updated.add(landmark)
+        return updated
+
+    def top_by_significance(self, count: int) -> List[Landmark]:
+        """The ``count`` most significant landmarks, ties broken by id."""
+        ordered = sorted(self, key=lambda lm: (-lm.significance, lm.landmark_id))
+        return ordered[:count]

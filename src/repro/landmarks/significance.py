@@ -1,0 +1,129 @@
+"""HITS-like landmark significance inference (Section III-A, reference [26]).
+
+The paper infers ``l.s`` by "regarding the travellers as authorities,
+landmarks as hubs, and check-ins/visits as hyperlinks" and running a HITS-like
+algorithm.  This module implements exactly that bipartite mutual-reinforcement
+iteration:
+
+* a traveller's *authority* grows with the significance of landmarks they
+  visit (experienced travellers visit the places worth visiting);
+* a landmark's *hub* score (its significance) grows with the authority of the
+  travellers who visit it.
+
+Visits come from two sources, as in the paper: LBSN check-ins and taxi
+trajectories passing near the landmark.  Scores are normalised to [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import LandmarkError
+from .checkins import CheckIn
+from .model import LandmarkCatalog
+
+VisitEdge = Tuple[str, int]
+"""A visit edge is (traveller key, landmark id); traveller keys are namespaced
+strings so LBSN users and taxi drivers never collide."""
+
+
+@dataclass
+class SignificanceInference:
+    """HITS-style mutual reinforcement over the traveller-landmark visit graph.
+
+    Parameters
+    ----------
+    max_iterations:
+        Upper bound on power iterations.
+    tolerance:
+        L1 convergence tolerance on the landmark score vector.
+    """
+
+    max_iterations: int = 100
+    tolerance: float = 1e-9
+
+    def scores_from_edges(self, edges: Sequence[VisitEdge]) -> Dict[int, float]:
+        """Run the HITS iteration over raw visit edges.
+
+        Returns a significance score in [0, 1] per landmark id appearing in
+        ``edges``.  Duplicate edges reinforce (a traveller checking in twice
+        counts twice).
+        """
+        if not edges:
+            return {}
+        travellers = sorted({traveller for traveller, _ in edges})
+        landmarks = sorted({landmark for _, landmark in edges})
+        traveller_index = {key: i for i, key in enumerate(travellers)}
+        landmark_index = {key: j for j, key in enumerate(landmarks)}
+
+        matrix = np.zeros((len(travellers), len(landmarks)))
+        for traveller, landmark in edges:
+            matrix[traveller_index[traveller], landmark_index[landmark]] += 1.0
+
+        authority = np.ones(len(travellers))
+        hub = np.ones(len(landmarks))
+        for _ in range(self.max_iterations):
+            new_authority = matrix @ hub
+            new_hub = matrix.T @ new_authority
+            norm_a = np.linalg.norm(new_authority)
+            norm_h = np.linalg.norm(new_hub)
+            if norm_a > 0:
+                new_authority = new_authority / norm_a
+            if norm_h > 0:
+                new_hub = new_hub / norm_h
+            if np.abs(new_hub - hub).sum() < self.tolerance:
+                authority, hub = new_authority, new_hub
+                break
+            authority, hub = new_authority, new_hub
+
+        top = hub.max()
+        if top <= 0:
+            return {landmark: 0.0 for landmark in landmarks}
+        return {landmark: float(hub[landmark_index[landmark]] / top) for landmark in landmarks}
+
+    def build_edges(
+        self,
+        checkins: Sequence[CheckIn] = (),
+        taxi_visits: Mapping[int, Iterable[int]] = None,
+    ) -> List[VisitEdge]:
+        """Combine check-ins and taxi visits into a single visit-edge list.
+
+        ``taxi_visits`` maps a driver id to the landmark ids their
+        trajectories pass near.
+        """
+        edges: List[VisitEdge] = [
+            (f"lbsn:{checkin.user_id}", checkin.landmark_id) for checkin in checkins
+        ]
+        if taxi_visits:
+            for driver_id, landmark_ids in taxi_visits.items():
+                for landmark_id in landmark_ids:
+                    edges.append((f"taxi:{driver_id}", landmark_id))
+        return edges
+
+
+def infer_significance(
+    catalog: LandmarkCatalog,
+    checkins: Sequence[CheckIn] = (),
+    taxi_visits: Optional[Mapping[int, Iterable[int]]] = None,
+    floor: float = 0.02,
+) -> LandmarkCatalog:
+    """Return a new catalogue with significance scores inferred from visits.
+
+    Landmarks never visited by anyone receive the small ``floor`` score (they
+    exist on the map but nobody knows them) rather than exactly zero, so the
+    landmark-selection objective can still rank them.
+    """
+    if not 0.0 <= floor <= 1.0:
+        raise LandmarkError("floor must be in [0, 1]")
+    inference = SignificanceInference()
+    edges = inference.build_edges(checkins, taxi_visits or {})
+    raw_scores = inference.scores_from_edges(edges)
+    scores = {
+        landmark.landmark_id: max(floor, raw_scores.get(landmark.landmark_id, 0.0))
+        for landmark in catalog
+    }
+    return catalog.update_significances(scores)

@@ -1,0 +1,24 @@
+"""Road-network substrate: graph model, synthetic city generators, routing and map matching."""
+
+from .graph import RoadClass, RoadEdge, RoadNetwork, RoadNode
+from .generators import GridCityConfig, generate_grid_city, generate_radial_city
+from .shortest_path import astar_path, dijkstra_path, k_shortest_paths, path_cost
+from .travel_time import SpeedProfile, TravelTimeModel
+from .map_matching import MapMatcher
+
+__all__ = [
+    "RoadClass",
+    "RoadEdge",
+    "RoadNetwork",
+    "RoadNode",
+    "GridCityConfig",
+    "generate_grid_city",
+    "generate_radial_city",
+    "astar_path",
+    "dijkstra_path",
+    "k_shortest_paths",
+    "path_cost",
+    "SpeedProfile",
+    "TravelTimeModel",
+    "MapMatcher",
+]

@@ -1,0 +1,275 @@
+"""Synthetic city generators.
+
+The reproduction cannot ship the real Beijing road map the paper evaluated
+on, so it generates synthetic cities instead.  Two families are provided:
+
+* :func:`generate_grid_city` — a Manhattan-style grid with arterials every few
+  blocks, a ring of highways, per-edge speed limits and traffic lights.  This
+  is the workhorse for experiments: it produces many near-equal-length
+  alternative routes between od-pairs, which is exactly the regime in which
+  recommendation sources disagree.
+* :func:`generate_radial_city` — a ring-and-spoke city used as a second
+  topology in robustness tests.
+
+Both generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..spatial import Point
+from ..utils.rng import derive_rng
+from .graph import RoadClass, RoadEdge, RoadNetwork, RoadNode
+
+
+@dataclass(frozen=True)
+class GridCityConfig:
+    """Parameters of the synthetic grid city.
+
+    Attributes
+    ----------
+    rows, cols:
+        Number of intersections along each axis.
+    block_size_m:
+        Distance between adjacent intersections.
+    arterial_every:
+        Every ``arterial_every``-th row/column is an arterial road (faster,
+        more traffic lights).
+    highway_ring:
+        If true, the outermost ring is classed as highway.
+    jitter_m:
+        Random positional jitter applied to each intersection, which breaks
+        exact ties between alternative routes.
+    drop_edge_probability:
+        Probability that an interior local street segment is removed, which
+        makes the grid less regular and forces detours.
+    seed:
+        Seed for jitter, traffic lights and edge removal.
+    """
+
+    rows: int = 20
+    cols: int = 20
+    block_size_m: float = 200.0
+    arterial_every: int = 5
+    highway_ring: bool = True
+    jitter_m: float = 15.0
+    drop_edge_probability: float = 0.03
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ConfigurationError("grid city needs at least 2x2 intersections")
+        if self.block_size_m <= 0:
+            raise ConfigurationError("block_size_m must be positive")
+        if self.arterial_every < 1:
+            raise ConfigurationError("arterial_every must be at least 1")
+        if not 0.0 <= self.drop_edge_probability < 0.5:
+            raise ConfigurationError("drop_edge_probability must be in [0, 0.5)")
+        if self.jitter_m < 0:
+            raise ConfigurationError("jitter_m must be non-negative")
+
+
+def _grid_node_id(row: int, col: int, cols: int) -> int:
+    return row * cols + col
+
+
+def _classify_grid_edge(row_a: int, col_a: int, row_b: int, col_b: int, config: GridCityConfig) -> RoadClass:
+    """Classify a grid edge from the rows/columns it connects."""
+    on_border = (
+        row_a in (0, config.rows - 1)
+        and row_b in (0, config.rows - 1)
+        or col_a in (0, config.cols - 1)
+        and col_b in (0, config.cols - 1)
+    )
+    if config.highway_ring and on_border:
+        return RoadClass.HIGHWAY
+    if row_a == row_b and row_a % config.arterial_every == 0:
+        return RoadClass.ARTERIAL
+    if col_a == col_b and col_a % config.arterial_every == 0:
+        return RoadClass.ARTERIAL
+    if row_a == row_b and row_a % config.arterial_every == config.arterial_every // 2:
+        return RoadClass.COLLECTOR
+    if col_a == col_b and col_a % config.arterial_every == config.arterial_every // 2:
+        return RoadClass.COLLECTOR
+    return RoadClass.LOCAL
+
+
+def generate_grid_city(config: Optional[GridCityConfig] = None) -> RoadNetwork:
+    """Generate a Manhattan-style grid city road network."""
+    config = config or GridCityConfig()
+    rng = derive_rng(config.seed, "grid-city")
+    network = RoadNetwork(index_cell_size=max(100.0, config.block_size_m))
+
+    # Nodes with jitter and traffic lights.
+    for row in range(config.rows):
+        for col in range(config.cols):
+            jitter_x = rng.uniform(-config.jitter_m, config.jitter_m)
+            jitter_y = rng.uniform(-config.jitter_m, config.jitter_m)
+            location = Point(col * config.block_size_m + jitter_x, row * config.block_size_m + jitter_y)
+            on_arterial = row % config.arterial_every == 0 or col % config.arterial_every == 0
+            light_probability = 0.6 if on_arterial else 0.15
+            network.add_node(
+                RoadNode(
+                    node_id=_grid_node_id(row, col, config.cols),
+                    location=location,
+                    has_traffic_light=rng.random() < light_probability,
+                )
+            )
+
+    # Edges: connect horizontal and vertical neighbours bidirectionally.
+    def _add(row_a: int, col_a: int, row_b: int, col_b: int) -> None:
+        source = _grid_node_id(row_a, col_a, config.cols)
+        target = _grid_node_id(row_b, col_b, config.cols)
+        road_class = _classify_grid_edge(row_a, col_a, row_b, col_b, config)
+        if road_class is RoadClass.LOCAL and rng.random() < config.drop_edge_probability:
+            return
+        length = network.node_location(source).distance_to(network.node_location(target))
+        edge = RoadEdge(
+            source=source,
+            target=target,
+            length_m=max(length, 1.0),
+            road_class=road_class,
+            name=f"{road_class.value}-{row_a}.{col_a}-{row_b}.{col_b}",
+        )
+        network.add_edge(edge, bidirectional=True)
+
+    for row in range(config.rows):
+        for col in range(config.cols):
+            if col + 1 < config.cols:
+                _add(row, col, row, col + 1)
+            if row + 1 < config.rows:
+                _add(row, col, row + 1, col)
+
+    _ensure_strong_connectivity(network)
+    return network
+
+
+def generate_radial_city(
+    rings: int = 5,
+    spokes: int = 12,
+    ring_spacing_m: float = 600.0,
+    seed: int = 7,
+) -> RoadNetwork:
+    """Generate a ring-and-spoke city centred on the origin."""
+    if rings < 1 or spokes < 3:
+        raise ConfigurationError("radial city needs at least 1 ring and 3 spokes")
+    if ring_spacing_m <= 0:
+        raise ConfigurationError("ring_spacing_m must be positive")
+    rng = derive_rng(seed, "radial-city")
+    network = RoadNetwork(index_cell_size=max(200.0, ring_spacing_m / 2))
+
+    center_id = 0
+    network.add_node(RoadNode(node_id=center_id, location=Point(0.0, 0.0), has_traffic_light=True))
+
+    def node_id(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * spokes + spoke
+
+    for ring in range(1, rings + 1):
+        radius = ring * ring_spacing_m
+        for spoke in range(spokes):
+            angle = 2 * math.pi * spoke / spokes
+            jitter = rng.uniform(-0.03, 0.03)
+            location = Point(radius * math.cos(angle + jitter), radius * math.sin(angle + jitter))
+            network.add_node(
+                RoadNode(
+                    node_id=node_id(ring, spoke),
+                    location=location,
+                    has_traffic_light=rng.random() < 0.4,
+                )
+            )
+
+    def add_edge(source: int, target: int, road_class: RoadClass) -> None:
+        length = network.node_location(source).distance_to(network.node_location(target))
+        network.add_edge(
+            RoadEdge(source=source, target=target, length_m=max(length, 1.0), road_class=road_class),
+            bidirectional=True,
+        )
+
+    # Spokes: center -> ring 1 -> ... -> ring n along each angle (arterials).
+    for spoke in range(spokes):
+        add_edge(center_id, node_id(1, spoke), RoadClass.ARTERIAL)
+        for ring in range(1, rings):
+            add_edge(node_id(ring, spoke), node_id(ring + 1, spoke), RoadClass.ARTERIAL)
+
+    # Rings: adjacent spokes on the same ring (outermost ring is a highway).
+    for ring in range(1, rings + 1):
+        road_class = RoadClass.HIGHWAY if ring == rings else RoadClass.COLLECTOR
+        for spoke in range(spokes):
+            add_edge(node_id(ring, spoke), node_id(ring, (spoke + 1) % spokes), road_class)
+
+    return network
+
+
+def _ensure_strong_connectivity(network: RoadNetwork) -> None:
+    """Reconnect nodes stranded by random edge removal.
+
+    Dropping local streets can isolate an intersection; rather than leaving
+    unreachable nodes (which would make route requests fail spuriously), each
+    stranded node is linked back to its nearest reachable neighbour.
+    """
+    node_ids = network.node_ids()
+    if not node_ids:
+        return
+    root = node_ids[0]
+    reachable = _reachable_from(network, root)
+    for node_id in node_ids:
+        if node_id in reachable:
+            continue
+        location = network.node_location(node_id)
+        candidates = [
+            (other, location.distance_to(network.node_location(other)))
+            for other in reachable
+        ]
+        nearest, distance = min(candidates, key=lambda pair: pair[1])
+        network.add_edge(
+            RoadEdge(
+                source=node_id,
+                target=nearest,
+                length_m=max(distance, 1.0),
+                road_class=RoadClass.LOCAL,
+                name="reconnect",
+            ),
+            bidirectional=True,
+        )
+        reachable.update(_reachable_from(network, node_id))
+
+
+def _reachable_from(network: RoadNetwork, root: int) -> set:
+    """Return the set of node ids reachable from ``root`` by directed edges."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in network.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def random_od_pairs(
+    network: RoadNetwork,
+    count: int,
+    min_distance_m: float = 1_000.0,
+    seed: int = 11,
+) -> List[Tuple[int, int]]:
+    """Sample origin/destination node pairs at least ``min_distance_m`` apart."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    rng = derive_rng(seed, "od-pairs")
+    node_ids = network.node_ids()
+    pairs: List[Tuple[int, int]] = []
+    attempts = 0
+    max_attempts = max(1000, count * 200)
+    while len(pairs) < count and attempts < max_attempts:
+        attempts += 1
+        origin, destination = rng.sample(node_ids, 2)
+        distance = network.node_location(origin).distance_to(network.node_location(destination))
+        if distance >= min_distance_m:
+            pairs.append((origin, destination))
+    return pairs

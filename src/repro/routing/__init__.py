@@ -1,0 +1,29 @@
+"""Candidate-route sources.
+
+The traditional-recommendation (TR) module of CrowdPlanner consolidates routes
+from two families of sources:
+
+* simulated web map services (shortest distance, fastest time), and
+* popular-route mining algorithms over historical trajectories — MPR (Most
+  Popular Route), LDR (Local Driver Route) and MFP (Most Frequent Path).
+"""
+
+from .base import CandidateRoute, RouteQuery, RouteSource
+from .web_service import FastestRouteService, ShortestRouteService, AlternativeAwareService
+from .popularity import TransferNetwork
+from .mpr import MostPopularRouteMiner
+from .ldr import LocalDriverRouteMiner
+from .mfp import MostFrequentPathMiner
+
+__all__ = [
+    "CandidateRoute",
+    "RouteQuery",
+    "RouteSource",
+    "FastestRouteService",
+    "ShortestRouteService",
+    "AlternativeAwareService",
+    "TransferNetwork",
+    "MostPopularRouteMiner",
+    "LocalDriverRouteMiner",
+    "MostFrequentPathMiner",
+]

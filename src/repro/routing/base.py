@@ -1,0 +1,130 @@
+"""Common interfaces for candidate-route sources."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import RoutingError
+from ..roadnet.graph import RoadNetwork
+from ..spatial import Point
+
+
+@dataclass(frozen=True)
+class RouteQuery:
+    """A route recommendation request.
+
+    Attributes
+    ----------
+    origin, destination:
+        Road-network node ids of the requested endpoints.
+    departure_time_s:
+        Departure time of day in seconds since midnight.
+    max_response_time_s:
+        The user-specified longest acceptable answer delay (used by worker
+        selection when the request reaches the crowd module).
+    """
+
+    origin: int
+    destination: int
+    departure_time_s: float = 9 * 3600.0
+    max_response_time_s: float = 3_600.0
+
+    def reversed(self) -> "RouteQuery":
+        """Return the same query in the opposite direction."""
+        return RouteQuery(
+            origin=self.destination,
+            destination=self.origin,
+            departure_time_s=self.departure_time_s,
+            max_response_time_s=self.max_response_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class CandidateRoute:
+    """A route proposed by one source for one query.
+
+    ``path`` is the node path on the road network; ``source`` names the
+    producing algorithm ("shortest", "fastest", "MPR", "LDR", "MFP", ...);
+    ``support`` is the number of historical trajectories backing the route
+    (0 for web-service routes); ``metadata`` carries per-source diagnostics.
+    """
+
+    path: Tuple[int, ...]
+    source: str
+    support: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        path: Sequence[int],
+        source: str,
+        support: int = 0,
+        metadata: Optional[Dict[str, float]] = None,
+    ):
+        if len(path) < 2:
+            raise RoutingError("a candidate route needs at least two nodes")
+        object.__setattr__(self, "path", tuple(path))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "support", int(support))
+        object.__setattr__(self, "metadata", dict(metadata or {}))
+
+    @property
+    def origin(self) -> int:
+        return self.path[0]
+
+    @property
+    def destination(self) -> int:
+        return self.path[-1]
+
+    def length_m(self, network: RoadNetwork) -> float:
+        """Geometric length of the route on ``network``."""
+        return network.path_length(self.path)
+
+    def points(self, network: RoadNetwork) -> List[Point]:
+        """Intersection coordinates along the route."""
+        return network.path_points(self.path)
+
+    def edge_set(self) -> set:
+        """The set of directed edges the route uses (for similarity measures)."""
+        return set(zip(self.path, self.path[1:]))
+
+    def similarity_to(self, other: "CandidateRoute") -> float:
+        """Jaccard similarity of the two routes' edge sets.
+
+        1.0 means identical edge usage, 0.0 means completely disjoint.  This
+        is the agreement measure the TR module uses to decide whether
+        candidate routes "agree with each other to a high degree".
+        """
+        mine = self.edge_set()
+        theirs = other.edge_set()
+        if not mine and not theirs:
+            return 1.0
+        union = mine | theirs
+        if not union:
+            return 1.0
+        return len(mine & theirs) / len(union)
+
+
+class RouteSource(abc.ABC):
+    """Interface of every candidate-route producer."""
+
+    #: Human-readable name recorded on produced routes.
+    name: str = "source"
+
+    @abc.abstractmethod
+    def recommend(self, query: RouteQuery) -> CandidateRoute:
+        """Return this source's best route for ``query``.
+
+        Implementations raise :class:`~repro.exceptions.RoutingError` (or a
+        subclass such as ``InsufficientSupportError``) when they cannot
+        produce a route.
+        """
+
+    def recommend_or_none(self, query: RouteQuery) -> Optional[CandidateRoute]:
+        """Like :meth:`recommend` but returns ``None`` instead of raising."""
+        try:
+            return self.recommend(query)
+        except RoutingError:
+            return None

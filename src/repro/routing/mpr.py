@@ -1,0 +1,85 @@
+"""MPR — Most Popular Route mining (Chen, Shen & Zhou, ICDE 2011 [4]).
+
+The original algorithm builds a transfer network from historical trajectories
+and defines route popularity through transition probabilities towards the
+destination; the most popular route is the one maximising the product of
+transition probabilities, found by a shortest-path search over
+``-log(probability)`` costs.  As the paper notes, MPR "tends to have fewer
+vertices": probability products favour short sequences of well-supported
+transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import InsufficientSupportError, RoutingError
+from ..roadnet.graph import RoadEdge, RoadNetwork
+from ..roadnet.shortest_path import dijkstra_path
+from ..trajectory.storage import TrajectoryStore
+from .base import CandidateRoute, RouteQuery, RouteSource
+from .popularity import TransferNetwork
+
+
+class MostPopularRouteMiner(RouteSource):
+    """Mines the most popular route between two nodes from historical data.
+
+    Parameters
+    ----------
+    network, store:
+        Road network and historical-trajectory store.
+    min_support:
+        Minimum number of historical trajectories between the query's origin
+        and destination areas for the result to be considered reliable; below
+        this an :class:`InsufficientSupportError` is raised (the failure mode
+        that motivates crowdsourcing in sparse regions).
+    smoothing:
+        Additive smoothing of transition probabilities.
+    support_radius_m:
+        Radius used when counting supporting trajectories around endpoints.
+    """
+
+    name = "MPR"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        store: TrajectoryStore,
+        min_support: int = 3,
+        smoothing: float = 0.1,
+        support_radius_m: float = 300.0,
+        transfer_network: Optional[TransferNetwork] = None,
+    ):
+        if min_support < 0:
+            raise RoutingError("min_support must be non-negative")
+        self.network = network
+        self.store = store
+        self.min_support = min_support
+        self.smoothing = smoothing
+        self.support_radius_m = support_radius_m
+        self.transfer = transfer_network or TransferNetwork(network, store)
+
+    def recommend(self, query: RouteQuery) -> CandidateRoute:
+        origin_location = self.network.node_location(query.origin)
+        destination_location = self.network.node_location(query.destination)
+        support = self.store.support_between(
+            origin_location, destination_location, self.support_radius_m
+        )
+        if support < self.min_support:
+            raise InsufficientSupportError(
+                query.origin, query.destination, support, self.min_support
+            )
+
+        def popularity_cost(edge: RoadEdge) -> float:
+            return self.transfer.edge_popularity_cost(edge.source, edge.target, self.smoothing)
+
+        path = dijkstra_path(self.network, query.origin, query.destination, cost=popularity_cost)
+        return CandidateRoute(
+            path=path,
+            source=self.name,
+            support=support,
+            metadata={
+                "length_m": self.network.path_length(path),
+                "coverage": self.transfer.coverage(),
+            },
+        )

@@ -1,0 +1,93 @@
+"""Transfer network shared by the popular-route miners.
+
+A *transfer network* summarises the historical trajectories as edge traversal
+counts and node transition probabilities, following the construction used by
+popular-route mining work (Chen et al. [4], Wei et al. [23]).  Both MPR and
+MFP operate on it; building it once per trajectory store and reusing it keeps
+the miners cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import RoutingError
+from ..roadnet.graph import RoadNetwork
+from ..spatial import Point
+from ..trajectory.storage import TrajectoryStore
+
+
+class TransferNetwork:
+    """Edge traversal statistics extracted from historical trajectories."""
+
+    def __init__(self, network: RoadNetwork, store: TrajectoryStore):
+        self.network = network
+        self.store = store
+        self._edge_counts: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._node_out_counts: Dict[int, int] = defaultdict(int)
+        self._node_counts: Dict[int, int] = defaultdict(int)
+        self._total_trajectories = 0
+        self._build()
+
+    def _build(self) -> None:
+        for trajectory_id in self.store.all_ids():
+            path = self.store.matched_path(trajectory_id)
+            self._total_trajectories += 1
+            for node in path:
+                self._node_counts[node] += 1
+            for source, target in zip(path, path[1:]):
+                self._edge_counts[(source, target)] += 1
+                self._node_out_counts[source] += 1
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def total_trajectories(self) -> int:
+        return self._total_trajectories
+
+    def edge_count(self, source: int, target: int) -> int:
+        """Number of historical traversals of the directed edge."""
+        return self._edge_counts.get((source, target), 0)
+
+    def node_count(self, node_id: int) -> int:
+        """Number of historical trajectories passing the node."""
+        return self._node_counts.get(node_id, 0)
+
+    def transition_probability(self, source: int, target: int, smoothing: float = 0.1) -> float:
+        """P(next node = target | current node = source) with additive smoothing.
+
+        Smoothing over the node's road-graph out-degree keeps unseen edges at
+        a small non-zero probability so popularity search stays connected.
+        """
+        out_degree = max(1, len(self.network.neighbors(source)))
+        numerator = self._edge_counts.get((source, target), 0) + smoothing
+        denominator = self._node_out_counts.get(source, 0) + smoothing * out_degree
+        if denominator <= 0:
+            return 0.0
+        return numerator / denominator
+
+    def edge_popularity_cost(self, source: int, target: int, smoothing: float = 0.1) -> float:
+        """Negative log transition probability — the cost minimised by MPR."""
+        probability = self.transition_probability(source, target, smoothing)
+        if probability <= 0:
+            return float("inf")
+        return -math.log(probability)
+
+    def coverage(self) -> float:
+        """Fraction of road-network edges traversed by at least one trajectory."""
+        if self.network.edge_count == 0:
+            return 0.0
+        return len(self._edge_counts) / self.network.edge_count
+
+    def hottest_edges(self, count: int = 10) -> List[Tuple[Tuple[int, int], int]]:
+        """The ``count`` most traversed edges with their counts."""
+        ordered = sorted(self._edge_counts.items(), key=lambda item: (-item[1], item[0]))
+        return ordered[:count]
+
+
+def path_support(store: TrajectoryStore, network: RoadNetwork, path: Sequence[int], radius_m: float = 300.0) -> int:
+    """Number of historical trajectories whose od matches the path's endpoints."""
+    origin = network.node_location(path[0])
+    destination = network.node_location(path[-1])
+    return store.support_between(origin, destination, radius_m)

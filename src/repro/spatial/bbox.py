@@ -1,0 +1,92 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..exceptions import SpatialError
+from .point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]`` in metres."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise SpatialError(
+                "bounding box minimum corner must not exceed maximum corner"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Return the tightest bounding box containing ``points``."""
+        points = list(points)
+        if not points:
+            raise SpatialError("cannot build a bounding box from zero points")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    @classmethod
+    def around(cls, center: Point, radius: float) -> "BoundingBox":
+        """Return the square box of half-width ``radius`` centred on ``center``."""
+        if radius < 0:
+            raise SpatialError("radius must be non-negative")
+        return cls(center.x - radius, center.y - radius, center.x + radius, center.y + radius)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies inside or on the boundary of the box."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if this box shares any area (or boundary) with ``other``."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` metres on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Return the smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )

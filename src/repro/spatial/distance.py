@@ -1,0 +1,63 @@
+"""Point-to-segment projection and route-length helpers.
+
+Map matching and anchor-based calibration both reduce to "find the nearest
+road segment / landmark to this point", which these helpers implement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .point import Point
+
+
+def project_point_on_segment(point: Point, start: Point, end: Point) -> Tuple[Point, float]:
+    """Project ``point`` onto segment ``start``-``end``.
+
+    Returns the closest point on the segment and the fractional position
+    ``t`` in ``[0, 1]`` along the segment (0 at ``start``, 1 at ``end``).
+    """
+    dx = end.x - start.x
+    dy = end.y - start.y
+    segment_length_sq = dx * dx + dy * dy
+    if segment_length_sq == 0.0:
+        return start, 0.0
+    t = ((point.x - start.x) * dx + (point.y - start.y) * dy) / segment_length_sq
+    t = max(0.0, min(1.0, t))
+    return Point(start.x + t * dx, start.y + t * dy), t
+
+
+def point_to_segment_distance(point: Point, start: Point, end: Point) -> float:
+    """Shortest distance from ``point`` to the segment ``start``-``end``."""
+    projection, _ = project_point_on_segment(point, start, end)
+    return point.distance_to(projection)
+
+
+def route_length(points: Sequence[Point]) -> float:
+    """Total polyline length of a sequence of points, in metres."""
+    total = 0.0
+    for first, second in zip(points, points[1:]):
+        total += first.distance_to(second)
+    return total
+
+
+def discrete_frechet_distance(a: Sequence[Point], b: Sequence[Point]) -> float:
+    """Discrete Fréchet distance between two point sequences.
+
+    Used as a strict geometric dissimilarity between candidate routes when
+    analysing how much different recommendation sources disagree.
+    """
+    if not a or not b:
+        raise ValueError("Fréchet distance of an empty sequence is undefined")
+    n, m = len(a), len(b)
+    memo = [[-1.0] * m for _ in range(n)]
+    memo[0][0] = a[0].distance_to(b[0])
+    for i in range(1, n):
+        memo[i][0] = max(memo[i - 1][0], a[i].distance_to(b[0]))
+    for j in range(1, m):
+        memo[0][j] = max(memo[0][j - 1], a[0].distance_to(b[j]))
+    for i in range(1, n):
+        for j in range(1, m):
+            best_previous = min(memo[i - 1][j], memo[i][j - 1], memo[i - 1][j - 1])
+            memo[i][j] = max(best_previous, a[i].distance_to(b[j]))
+    return memo[n - 1][m - 1]

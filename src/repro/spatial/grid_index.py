@@ -1,0 +1,133 @@
+"""A uniform-grid spatial index over point-keyed items.
+
+The index answers two queries the rest of the library needs constantly:
+``nearest(point)`` (map matching, anchor calibration) and
+``within_radius(point, r)`` (worker knowledge radius, truth reuse matching).
+A uniform grid is simple, predictable and fast enough for city-scale data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from ..exceptions import SpatialError
+from .point import Point
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Maps items to planar locations and supports nearest / radius queries."""
+
+    def __init__(self, cell_size: float = 500.0):
+        if cell_size <= 0:
+            raise SpatialError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], List[Tuple[Point, T]]] = defaultdict(list)
+        self._items: Dict[T, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        return (int(math.floor(point.x / self.cell_size)), int(math.floor(point.y / self.cell_size)))
+
+    def insert(self, item: T, location: Point) -> None:
+        """Insert ``item`` at ``location``; re-inserting an item moves it."""
+        if item in self._items:
+            self.remove(item)
+        self._items[item] = location
+        self._cells[self._cell_of(location)].append((location, item))
+
+    def insert_many(self, entries: Iterable[Tuple[T, Point]]) -> None:
+        for item, location in entries:
+            self.insert(item, location)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raises ``KeyError`` if absent."""
+        location = self._items.pop(item)
+        cell = self._cell_of(location)
+        self._cells[cell] = [(p, i) for p, i in self._cells[cell] if i != item]
+        if not self._cells[cell]:
+            del self._cells[cell]
+
+    def location_of(self, item: T) -> Point:
+        """Return the stored location of ``item``."""
+        return self._items[item]
+
+    def items(self) -> List[T]:
+        return list(self._items)
+
+    def within_radius(self, center: Point, radius: float) -> List[Tuple[T, float]]:
+        """Return ``(item, distance)`` pairs within ``radius`` metres of ``center``.
+
+        Results are sorted by increasing distance.
+        """
+        if radius < 0:
+            raise SpatialError("radius must be non-negative")
+        reach = int(math.ceil(radius / self.cell_size))
+        center_cell = self._cell_of(center)
+        found: List[Tuple[T, float]] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                cell = (center_cell[0] + dx, center_cell[1] + dy)
+                for location, item in self._cells.get(cell, ()):
+                    distance = center.distance_to(location)
+                    if distance <= radius:
+                        found.append((item, distance))
+        found.sort(key=lambda pair: (pair[1], str(pair[0])))
+        return found
+
+    def nearest(self, center: Point, max_radius: Optional[float] = None) -> Optional[Tuple[T, float]]:
+        """Return the nearest item and its distance, or ``None`` if empty.
+
+        If ``max_radius`` is given, items farther than it are ignored.
+
+        ``within_radius`` inspects every cell overlapping the query square, so
+        as soon as it returns a non-empty result its closest entry is the
+        global nearest neighbour — anything closer would also have been inside
+        the same radius.
+        """
+        if not self._items:
+            return None
+        limit = float("inf") if max_radius is None else float(max_radius)
+        radius = self.cell_size
+        # Cap the doubling search at the farthest indexed item so a query far
+        # outside the indexed area degrades to a single linear-equivalent pass
+        # instead of growing the radius forever.
+        farthest = max(center.distance_to(location) for location in self._items.values())
+        while True:
+            effective = min(radius, limit)
+            candidates = self.within_radius(center, effective)
+            if candidates:
+                return candidates[0]
+            if effective >= limit or radius >= farthest:
+                return None
+            radius *= 2
+
+    def k_nearest(self, center: Point, k: int) -> List[Tuple[T, float]]:
+        """Return up to ``k`` nearest items as ``(item, distance)`` pairs."""
+        if k <= 0:
+            return []
+        if not self._items:
+            return []
+        # Grow the radius until at least k items are inside, then trim.
+        radius = self.cell_size
+        max_extent = self.cell_size * (len(self._cells) + 2) + 1.0
+        while True:
+            candidates = self.within_radius(center, radius)
+            if len(candidates) >= k or radius > max_extent:
+                break
+            radius *= 2
+        if len(candidates) < k:
+            candidates = [
+                (item, center.distance_to(location))
+                for item, location in self._items.items()
+            ]
+            candidates.sort(key=lambda pair: (pair[1], str(pair[0])))
+        return candidates[:k]

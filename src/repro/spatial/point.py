@@ -1,0 +1,77 @@
+"""Planar points and distance metrics.
+
+The synthetic cities in this reproduction live on a local planar coordinate
+system measured in metres (``x`` east, ``y`` north).  A haversine helper is
+provided for users who feed real latitude/longitude GPS data instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point in metres.
+
+    Points are hashable and ordered lexicographically so they can be used as
+    dictionary keys and sorted deterministically.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in metres to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two planar points, in metres."""
+    return a.distance_to(b)
+
+
+def haversine_distance(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in metres between two WGS-84 coordinates.
+
+    Only used when callers supply real latitude/longitude data; synthetic
+    scenarios use planar coordinates throughout.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the centroid of a non-empty collection of points."""
+    xs = []
+    ys = []
+    for point in points:
+        xs.append(point.x)
+        ys.append(point.y)
+    if not xs:
+        raise ValueError("centroid of an empty point collection is undefined")
+    return Point(sum(xs) / len(xs), sum(ys) / len(ys))

@@ -1,0 +1,86 @@
+"""Polylines: ordered point sequences with sampling and resampling helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..exceptions import SpatialError
+from .bbox import BoundingBox
+from .distance import route_length
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An immutable ordered sequence of at least two points."""
+
+    points: Tuple[Point, ...]
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 2:
+            raise SpatialError("a polyline needs at least two points")
+        object.__setattr__(self, "points", tuple(points))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    @property
+    def start(self) -> Point:
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        return self.points[-1]
+
+    @property
+    def length(self) -> float:
+        """Total length in metres."""
+        return route_length(self.points)
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.from_points(self.points)
+
+    def reversed(self) -> "Polyline":
+        return Polyline(tuple(reversed(self.points)))
+
+    def point_at_fraction(self, fraction: float) -> Point:
+        """Return the point located at ``fraction`` of the total length.
+
+        ``fraction`` is clamped to ``[0, 1]``.
+        """
+        fraction = max(0.0, min(1.0, fraction))
+        target = fraction * self.length
+        travelled = 0.0
+        for first, second in zip(self.points, self.points[1:]):
+            segment = first.distance_to(second)
+            if travelled + segment >= target and segment > 0:
+                remainder = (target - travelled) / segment
+                return Point(
+                    first.x + remainder * (second.x - first.x),
+                    first.y + remainder * (second.y - first.y),
+                )
+            travelled += segment
+        return self.end
+
+    def resample(self, spacing: float) -> List[Point]:
+        """Return points sampled every ``spacing`` metres along the polyline.
+
+        The first and last points are always included.  Used by the GPS
+        trajectory generator to turn a road path into a pinged trajectory.
+        """
+        if spacing <= 0:
+            raise SpatialError("spacing must be positive")
+        total = self.length
+        if total == 0:
+            return [self.start, self.end]
+        count = max(1, int(total // spacing))
+        samples = [self.point_at_fraction(i / count) for i in range(count)]
+        samples.append(self.end)
+        return samples

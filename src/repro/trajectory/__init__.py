@@ -1,0 +1,18 @@
+"""Trajectory substrate: GPS trajectories, synthetic drivers, calibration and storage."""
+
+from .model import GPSPoint, Trajectory
+from .noise import GPSNoiseModel
+from .generator import DriverProfile, TrajectoryGenerator, TrajectoryGeneratorConfig
+from .calibration import AnchorCalibrator
+from .storage import TrajectoryStore
+
+__all__ = [
+    "GPSPoint",
+    "Trajectory",
+    "GPSNoiseModel",
+    "DriverProfile",
+    "TrajectoryGenerator",
+    "TrajectoryGeneratorConfig",
+    "AnchorCalibrator",
+    "TrajectoryStore",
+]

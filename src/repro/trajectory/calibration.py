@@ -1,0 +1,121 @@
+"""Anchor-based route calibration (reference [21] of the paper).
+
+CrowdPlanner rewrites every continuous candidate route into a
+*landmark-based route*: the finite sequence of landmarks the route passes,
+treating landmarks as anchor points.  The calibrator implements that step:
+given a node path and a landmark catalogue, it emits the ordered, de-duplicated
+sequence of landmark ids whose anchor region the route touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import CalibrationError
+from ..landmarks.model import Landmark
+from ..roadnet.graph import RoadNetwork
+from ..spatial import GridIndex, Point, point_to_segment_distance
+
+
+class AnchorCalibrator:
+    """Maps node paths onto ordered landmark sequences.
+
+    Parameters
+    ----------
+    network:
+        Road network the paths live on.
+    landmarks:
+        Landmark catalogue used as anchor points.
+    attach_radius_m:
+        A landmark is attached to the route if the route passes within this
+        distance of it (for point landmarks) or within the landmark's own
+        radius plus this slack (for region landmarks).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        landmarks: Sequence[Landmark],
+        attach_radius_m: float = 150.0,
+    ):
+        if attach_radius_m <= 0:
+            raise CalibrationError("attach_radius_m must be positive")
+        self.network = network
+        self.attach_radius_m = attach_radius_m
+        self._landmarks: Dict[int, Landmark] = {lm.landmark_id: lm for lm in landmarks}
+        self._index: GridIndex[int] = GridIndex(cell_size=max(200.0, attach_radius_m))
+        for landmark in landmarks:
+            self._index.insert(landmark.landmark_id, landmark.anchor)
+
+    @property
+    def landmark_count(self) -> int:
+        return len(self._landmarks)
+
+    def landmark(self, landmark_id: int) -> Landmark:
+        try:
+            return self._landmarks[landmark_id]
+        except KeyError:
+            raise CalibrationError(f"unknown landmark id {landmark_id}") from None
+
+    def _attach_distance(self, landmark: Landmark) -> float:
+        """Distance at which a route is considered to pass this landmark."""
+        return self.attach_radius_m + landmark.extent_m
+
+    def calibrate_path(self, path: Sequence[int]) -> List[int]:
+        """Return the ordered landmark-id sequence a node path passes.
+
+        Landmarks are ordered by the position along the route at which the
+        route first comes within attach distance; each landmark appears at
+        most once.  Raises :class:`CalibrationError` for paths shorter than
+        two nodes.
+        """
+        if len(path) < 2:
+            raise CalibrationError("cannot calibrate a path with fewer than two nodes")
+        self.network.validate_path(path)
+        points = self.network.path_points(path)
+
+        first_hit: Dict[int, float] = {}
+        travelled = 0.0
+        search_radius = self.attach_radius_m + self._max_extent()
+        for start, end in zip(points, points[1:]):
+            segment_length = start.distance_to(end)
+            midpoint = start.midpoint(end)
+            probe_radius = search_radius + segment_length / 2.0
+            for landmark_id, _ in self._index.within_radius(midpoint, probe_radius):
+                if landmark_id in first_hit:
+                    continue
+                landmark = self._landmarks[landmark_id]
+                distance = point_to_segment_distance(landmark.anchor, start, end)
+                if distance <= self._attach_distance(landmark):
+                    first_hit[landmark_id] = travelled + distance
+            travelled += segment_length
+
+        ordered = sorted(first_hit.items(), key=lambda item: (item[1], item[0]))
+        return [landmark_id for landmark_id, _ in ordered]
+
+    def calibrate_points(self, points: Sequence[Point]) -> List[int]:
+        """Landmark sequence for a raw point polyline (no road graph needed)."""
+        if len(points) < 2:
+            raise CalibrationError("cannot calibrate fewer than two points")
+        first_hit: Dict[int, float] = {}
+        travelled = 0.0
+        search_radius = self.attach_radius_m + self._max_extent()
+        for start, end in zip(points, points[1:]):
+            segment_length = start.distance_to(end)
+            midpoint = start.midpoint(end)
+            probe_radius = search_radius + segment_length / 2.0
+            for landmark_id, _ in self._index.within_radius(midpoint, probe_radius):
+                if landmark_id in first_hit:
+                    continue
+                landmark = self._landmarks[landmark_id]
+                distance = point_to_segment_distance(landmark.anchor, start, end)
+                if distance <= self._attach_distance(landmark):
+                    first_hit[landmark_id] = travelled + distance
+            travelled += segment_length
+        ordered = sorted(first_hit.items(), key=lambda item: (item[1], item[0]))
+        return [landmark_id for landmark_id, _ in ordered]
+
+    def _max_extent(self) -> float:
+        if not self._landmarks:
+            return 0.0
+        return max(landmark.extent_m for landmark in self._landmarks.values())

@@ -1,0 +1,110 @@
+"""GPS trajectory data model.
+
+A :class:`Trajectory` is an immutable, time-ordered sequence of GPS points
+with metadata about the driver who produced it and, when known, the road-graph
+node path it followed.  Keeping the generating node path (for synthetic data)
+lets experiments compare mined routes against the ground-truth driver choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import TrajectoryError
+from ..spatial import BoundingBox, Point, route_length
+
+
+@dataclass(frozen=True)
+class GPSPoint:
+    """A single GPS fix: planar position plus a POSIX-like timestamp in seconds."""
+
+    location: Point
+    timestamp: float
+
+    @property
+    def x(self) -> float:
+        return self.location.x
+
+    @property
+    def y(self) -> float:
+        return self.location.y
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A time-ordered GPS trace.
+
+    Attributes
+    ----------
+    trajectory_id:
+        Unique identifier.
+    driver_id:
+        Identifier of the (synthetic) driver that produced the trace.
+    points:
+        Time-ordered GPS fixes.
+    source_path:
+        For synthetic trajectories, the road-graph node path the driver
+        actually followed (ground truth).  Real-world traces leave it empty.
+    departure_time_s:
+        Departure time of day in seconds since midnight.
+    """
+
+    trajectory_id: int
+    driver_id: int
+    points: Tuple[GPSPoint, ...]
+    source_path: Tuple[int, ...] = field(default_factory=tuple)
+    departure_time_s: float = 9 * 3600.0
+
+    def __init__(
+        self,
+        trajectory_id: int,
+        driver_id: int,
+        points: Sequence[GPSPoint],
+        source_path: Sequence[int] = (),
+        departure_time_s: float = 9 * 3600.0,
+    ):
+        if len(points) < 2:
+            raise TrajectoryError("a trajectory needs at least two GPS points")
+        timestamps = [point.timestamp for point in points]
+        if any(later < earlier for earlier, later in zip(timestamps, timestamps[1:])):
+            raise TrajectoryError("trajectory timestamps must be non-decreasing")
+        object.__setattr__(self, "trajectory_id", trajectory_id)
+        object.__setattr__(self, "driver_id", driver_id)
+        object.__setattr__(self, "points", tuple(points))
+        object.__setattr__(self, "source_path", tuple(source_path))
+        object.__setattr__(self, "departure_time_s", float(departure_time_s))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def start(self) -> GPSPoint:
+        return self.points[0]
+
+    @property
+    def end(self) -> GPSPoint:
+        return self.points[-1]
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed time between the first and last fix."""
+        return self.end.timestamp - self.start.timestamp
+
+    @property
+    def length_m(self) -> float:
+        """Geometric length of the GPS polyline."""
+        return route_length([point.location for point in self.points])
+
+    def locations(self) -> List[Point]:
+        """Return the planar locations of all fixes, in order."""
+        return [point.location for point in self.points]
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.from_points(self.locations())
+
+    def average_speed_ms(self) -> float:
+        """Average speed in metres per second (0 if the duration is 0)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.length_m / self.duration_s

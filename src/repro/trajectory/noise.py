@@ -1,0 +1,62 @@
+"""GPS measurement-noise model.
+
+Real taxi traces carry positional error and occasional dropped fixes; the
+noise model reproduces both so map matching and calibration are exercised on
+realistically imperfect input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..exceptions import ConfigurationError
+from ..spatial import Point
+
+
+@dataclass(frozen=True)
+class GPSNoiseModel:
+    """Gaussian positional noise plus random fix dropping.
+
+    Attributes
+    ----------
+    position_sigma_m:
+        Standard deviation of the positional error in metres.
+    drop_probability:
+        Probability that an individual fix is lost.
+    outlier_probability:
+        Probability that a fix is a gross outlier (multipath error).
+    outlier_sigma_m:
+        Standard deviation of outlier error.
+    """
+
+    position_sigma_m: float = 8.0
+    drop_probability: float = 0.05
+    outlier_probability: float = 0.01
+    outlier_sigma_m: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.position_sigma_m < 0 or self.outlier_sigma_m < 0:
+            raise ConfigurationError("noise sigmas must be non-negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError("drop_probability must be in [0, 1)")
+        if not 0.0 <= self.outlier_probability < 1.0:
+            raise ConfigurationError("outlier_probability must be in [0, 1)")
+
+    def apply(self, points: Sequence[Point], rng: random.Random) -> List[Point]:
+        """Return a noisy copy of ``points``.
+
+        The first and last points are never dropped so the trace keeps its
+        origin and destination.
+        """
+        noisy: List[Point] = []
+        last_index = len(points) - 1
+        for index, point in enumerate(points):
+            if 0 < index < last_index and rng.random() < self.drop_probability:
+                continue
+            sigma = self.position_sigma_m
+            if rng.random() < self.outlier_probability:
+                sigma = self.outlier_sigma_m
+            noisy.append(Point(point.x + rng.gauss(0.0, sigma), point.y + rng.gauss(0.0, sigma)))
+        return noisy

@@ -1,0 +1,25 @@
+"""Small shared utilities: seeded randomness, statistics helpers and timers."""
+
+from .rng import SeedSequence, derive_rng, spawn_seeds
+from .stats import (
+    empirical_entropy,
+    gini,
+    mean,
+    normalize,
+    percentile,
+    weighted_choice,
+)
+from .timer import Timer
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "spawn_seeds",
+    "empirical_entropy",
+    "gini",
+    "mean",
+    "normalize",
+    "percentile",
+    "weighted_choice",
+    "Timer",
+]

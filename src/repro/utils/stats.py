@@ -1,0 +1,147 @@
+"""Statistics helpers shared across the library.
+
+These are intentionally small, dependency-light functions: empirical entropy
+for the question-ordering information strength, normalisation helpers for
+significance scores, and simple summary statistics for the experiment
+harness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def empirical_entropy(labels: Iterable) -> float:
+    """Return the empirical Shannon entropy (in bits) of a label multiset.
+
+    The question-ordering component treats each candidate route as its own
+    class, so the entropy of ``n`` remaining candidate routes is ``log2(n)``.
+
+    >>> empirical_entropy(["a", "a", "b", "b"])
+    1.0
+    >>> empirical_entropy(["a"])
+    0.0
+    """
+    counts = Counter(labels)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale values into [0, 1] by min-max normalisation.
+
+    A constant sequence maps to all ones (the values are equally significant
+    rather than equally insignificant), and an empty sequence maps to an
+    empty list.
+    """
+    if not values:
+        return []
+    low = min(values)
+    high = max(values)
+    if math.isclose(high, low):
+        return [1.0] * len(values)
+    span = high - low
+    return [(value - low) / span for value in values]
+
+
+def normalize_to_sum(values: Sequence[float]) -> List[float]:
+    """Scale non-negative values so they sum to one (uniform if all zero)."""
+    if not values:
+        return []
+    total = float(sum(values))
+    if total <= 0:
+        return [1.0 / len(values)] * len(values)
+    return [value / total for value in values]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return float(sum(values)) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence is undefined")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be between 0 and 100")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = rank - lower
+    return float(ordered[lower] * (1 - weight) + ordered[upper] * weight)
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sequence (0 = equal, ->1 = skewed).
+
+    Used to characterise how skewed the inferred landmark significance
+    distribution is.
+    """
+    cleaned = [v for v in values if v >= 0]
+    if not cleaned or sum(cleaned) == 0:
+        return 0.0
+    ordered = sorted(cleaned)
+    n = len(ordered)
+    cumulative = 0.0
+    for index, value in enumerate(ordered, start=1):
+        cumulative += index * value
+    total = sum(ordered)
+    return (2 * cumulative) / (n * total) - (n + 1) / n
+
+
+def weighted_choice(options: Sequence[T], weights: Sequence[float], rng: random.Random) -> T:
+    """Pick one option with probability proportional to its weight."""
+    if len(options) != len(weights):
+        raise ValueError("options and weights must have the same length")
+    if not options:
+        raise ValueError("cannot choose from an empty sequence")
+    probabilities = normalize_to_sum(weights)
+    threshold = rng.random()
+    cumulative = 0.0
+    for option, probability in zip(options, probabilities):
+        cumulative += probability
+        if threshold <= cumulative:
+            return option
+    return options[-1]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return a small summary (count/mean/p50/p95/min/max) of a sequence."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }
+
+
+def pairs(items: Sequence[T]) -> List[Tuple[T, T]]:
+    """Return all unordered pairs of a sequence."""
+    result: List[Tuple[T, T]] = []
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            result.append((items[i], items[j]))
+    return result

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (city networks, the end-to-end scenario) are
+session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlannerConfig
+from repro.datasets.synthetic_city import Scenario, SyntheticCityConfig, build_scenario
+from repro.landmarks.generator import LandmarkGeneratorConfig, generate_landmarks
+from repro.roadnet.generators import GridCityConfig, generate_grid_city
+from repro.roadnet.graph import RoadClass, RoadEdge, RoadNetwork, RoadNode
+from repro.spatial import Point
+from repro.trajectory.calibration import AnchorCalibrator
+
+
+@pytest.fixture(scope="session")
+def small_network() -> RoadNetwork:
+    """A 8x8 grid city shared by substrate tests."""
+    return generate_grid_city(GridCityConfig(rows=8, cols=8, block_size_m=200.0, seed=3))
+
+
+@pytest.fixture(scope="session")
+def tiny_network() -> RoadNetwork:
+    """A hand-built 4-node network with known shortest paths.
+
+    Layout (all edges bidirectional, lengths in metres)::
+
+        0 --100-- 1
+        |         |
+       100       100
+        |         |
+        2 --100-- 3
+        0 --250-- 3   (diagonal, longer than the 200 m corner routes)
+    """
+    network = RoadNetwork(index_cell_size=100.0)
+    network.add_node(RoadNode(0, Point(0.0, 0.0)))
+    network.add_node(RoadNode(1, Point(100.0, 0.0), has_traffic_light=True))
+    network.add_node(RoadNode(2, Point(0.0, 100.0)))
+    network.add_node(RoadNode(3, Point(100.0, 100.0)))
+    network.add_edge(RoadEdge(0, 1, 100.0, RoadClass.LOCAL), bidirectional=True)
+    network.add_edge(RoadEdge(0, 2, 100.0, RoadClass.LOCAL), bidirectional=True)
+    network.add_edge(RoadEdge(1, 3, 100.0, RoadClass.LOCAL), bidirectional=True)
+    network.add_edge(RoadEdge(2, 3, 100.0, RoadClass.LOCAL), bidirectional=True)
+    network.add_edge(RoadEdge(0, 3, 250.0, RoadClass.ARTERIAL), bidirectional=True)
+    return network
+
+
+@pytest.fixture(scope="session")
+def small_catalog(small_network):
+    """A landmark catalogue over the small network (no significance yet)."""
+    return generate_landmarks(small_network, LandmarkGeneratorConfig(count=60, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_calibrator(small_network, small_catalog):
+    return AnchorCalibrator(small_network, small_catalog.all())
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A compact but complete end-to-end scenario shared across the suite."""
+    return build_scenario(
+        SyntheticCityConfig(
+            rows=9,
+            cols=9,
+            block_size_m=220.0,
+            num_landmarks=70,
+            num_drivers=16,
+            trips_per_driver=10,
+            num_hot_pairs=12,
+            num_workers=24,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def planner(scenario):
+    """A prepared planner over the shared scenario (state accumulates across tests)."""
+    return scenario.build_planner()
+
+
+@pytest.fixture()
+def config() -> PlannerConfig:
+    return PlannerConfig()

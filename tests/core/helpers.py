@@ -1,0 +1,45 @@
+"""Shared helpers for the core test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.route import LandmarkRoute
+from repro.routing.base import CandidateRoute
+
+
+def landmark_route(index: int, landmarks: Sequence[int], support: int = 0, source: str = "") -> LandmarkRoute:
+    """Build a LandmarkRoute with a dummy two-node path."""
+    candidate = CandidateRoute(
+        path=[1000 + index * 2, 1001 + index * 2],
+        source=source or f"src-{index}",
+        support=support,
+    )
+    return LandmarkRoute(candidate, landmarks)
+
+
+def paper_example_routes() -> Tuple[List[LandmarkRoute], Dict[int, float]]:
+    """The Fig. 2 example of the paper: routes between l1 and l10.
+
+    Four routes over landmarks l1..l10 with the significance values shown in
+    the figure.  Landmark ids use the paper's numbering.
+    """
+    routes = [
+        landmark_route(0, [1, 2, 4, 7, 9, 10], source="R1"),
+        landmark_route(1, [1, 2, 4, 6, 10], source="R2"),
+        landmark_route(2, [1, 3, 5, 8, 10], source="R3"),
+        landmark_route(3, [1, 3, 5, 6, 10], source="R4"),
+    ]
+    significance = {
+        1: 0.9,
+        2: 0.7,
+        3: 0.3,
+        4: 0.8,
+        5: 0.2,
+        6: 0.4,
+        7: 0.5,
+        8: 0.2,
+        9: 0.1,
+        10: 0.9,
+    }
+    return routes, significance

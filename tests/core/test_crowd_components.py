@@ -1,0 +1,225 @@
+"""Tests for worker selection, early stop, aggregation and rewards."""
+
+import pytest
+
+from repro.config import PlannerConfig
+from repro.core.aggregation import AnswerAggregator
+from repro.core.early_stop import EarlyStopMonitor
+from repro.core.familiarity import FamiliarityModel
+from repro.core.rewards import RewardLedger
+from repro.core.task import Answer, WorkerResponse
+from repro.core.task_generation import TaskGenerator
+from repro.core.worker_selection import WorkerSelector
+from repro.exceptions import TaskGenerationError, WorkerSelectionError
+
+
+@pytest.fixture(scope="module")
+def selection_setup(scenario):
+    """Familiarity model, selector and one generated task on the shared scenario."""
+    config = scenario.config.planner_config
+    familiarity = FamiliarityModel(scenario.worker_pool, scenario.catalog, config)
+    familiarity.fit(use_pmf=True)
+    selector = WorkerSelector(scenario.worker_pool, familiarity, config)
+    generator = TaskGenerator(scenario.calibrator, scenario.catalog)
+    task = None
+    for query in scenario.sample_queries(30, seed=301):
+        candidates = []
+        seen = set()
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 2:
+            continue
+        try:
+            task = generator.generate(query, candidates)
+            break
+        except TaskGenerationError:
+            continue
+    if task is None:
+        pytest.skip("no crowd task could be generated on the shared scenario")
+    return config, familiarity, selector, task
+
+
+class TestWorkerSelector:
+    def test_selects_requested_number(self, selection_setup, scenario):
+        _, _, selector, task = selection_setup
+        workers = selector.select(task, 5)
+        assert 1 <= len(workers) <= 5
+        assert len(set(workers)) == len(workers)
+
+    def test_selected_workers_are_registered(self, selection_setup, scenario):
+        _, _, selector, task = selection_setup
+        for worker_id in selector.select(task, 5):
+            assert worker_id in scenario.worker_pool
+
+    def test_invalid_k(self, selection_setup):
+        _, _, selector, task = selection_setup
+        with pytest.raises(WorkerSelectionError):
+            selector.select(task, 0)
+
+    def test_quota_filter_excludes_busy_workers(self, selection_setup, scenario):
+        config, _, selector, task = selection_setup
+        chosen = selector.select(task, 3)
+        busy = scenario.worker_pool.get(chosen[0])
+        original = busy.outstanding_tasks
+        busy.outstanding_tasks = config.worker_quota
+        try:
+            assert chosen[0] not in selector.select(task, 3)
+        finally:
+            busy.outstanding_tasks = original
+
+    def test_deadline_filter_excludes_slow_workers(self, selection_setup, scenario):
+        _, _, selector, task = selection_setup
+        from repro.routing.base import RouteQuery
+
+        tight_query = RouteQuery(
+            origin=task.query.origin,
+            destination=task.query.destination,
+            departure_time_s=task.query.departure_time_s,
+            max_response_time_s=0.001,
+        )
+        from repro.core.task import Task
+
+        tight_task = Task(
+            query=tight_query,
+            landmark_routes=task.landmark_routes,
+            selected_landmarks=task.selected_landmarks,
+            question_tree=task.question_tree,
+            questions=task.questions,
+        )
+        with pytest.raises(WorkerSelectionError):
+            selector.select(tight_task, 3)
+
+    def test_rated_voting_considers_coverage(self, selection_setup):
+        _, _, selector, task = selection_setup
+        candidates = selector.candidate_workers(task)
+        ranking = selector.rank_candidates(task, candidates)
+        assert ranking == sorted(ranking, key=lambda s: (-s.preference_score, -s.familiarity_sum, s.worker_id))
+        assert all(score.preference_score >= 0 for score in ranking)
+
+    def test_familiarity_sum_baseline_ranking(self, selection_setup):
+        _, _, selector, task = selection_setup
+        candidates = selector.candidate_workers(task)
+        baseline = selector.rank_by_familiarity_sum(task, candidates)
+        assert baseline == sorted(baseline, key=lambda s: (-s.familiarity_sum, s.worker_id))
+
+
+class TestEarlyStop:
+    def test_no_votes_no_stop(self):
+        monitor = EarlyStopMonitor(PlannerConfig())
+        decision = monitor.evaluate({}, expected_total=5)
+        assert not decision.should_stop and decision.leading_route_index is None
+
+    def test_requires_minimum_responses(self):
+        monitor = EarlyStopMonitor(PlannerConfig(early_stop_confidence=0.6), min_responses=3)
+        assert not monitor.evaluate({0: 2}, expected_total=10).should_stop
+
+    def test_stops_on_high_confidence(self):
+        monitor = EarlyStopMonitor(PlannerConfig(early_stop_confidence=0.75))
+        decision = monitor.evaluate({0: 3, 1: 1}, expected_total=10)
+        assert decision.should_stop
+        assert decision.confidence == pytest.approx(0.75)
+        assert decision.leading_route_index == 0
+
+    def test_stops_when_unbeatable(self):
+        monitor = EarlyStopMonitor(PlannerConfig(early_stop_confidence=0.99))
+        # 3 vs 1 with only one vote outstanding: the leader cannot be caught.
+        assert monitor.evaluate({0: 3, 1: 1}, expected_total=5).should_stop
+
+    def test_does_not_stop_when_race_is_open(self):
+        monitor = EarlyStopMonitor(PlannerConfig(early_stop_confidence=0.9))
+        assert not monitor.evaluate({0: 2, 1: 1}, expected_total=7).should_stop
+
+    def test_invalid_min_responses(self):
+        with pytest.raises(ValueError):
+            EarlyStopMonitor(PlannerConfig(), min_responses=0)
+
+
+def _response(worker_id, route_index, answers=(), time_s=10.0):
+    return WorkerResponse(
+        worker_id=worker_id,
+        answers=list(answers),
+        chosen_route_index=route_index,
+        total_response_time_s=time_s,
+    )
+
+
+class TestAggregation:
+    def test_majority_wins(self, selection_setup):
+        config, _, _, task = selection_setup
+        aggregator = AnswerAggregator(config)
+        responses = [_response(1, 0), _response(2, 0), _response(3, 1)]
+        result = aggregator.aggregate(task, responses)
+        assert result.winning_route_index == 0
+        assert result.votes == {0: 2, 1: 1}
+        assert result.confidence == pytest.approx(2 / 3)
+
+    def test_empty_responses_rejected(self, selection_setup):
+        config, _, _, task = selection_setup
+        with pytest.raises(TaskGenerationError):
+            AnswerAggregator(config).aggregate(task, [])
+
+    def test_tie_broken_by_support_then_source(self, selection_setup):
+        config, _, _, task = selection_setup
+        aggregator = AnswerAggregator(config)
+        responses = [_response(1, 0), _response(2, 1)]
+        result = aggregator.aggregate(task, responses)
+        route_0 = task.candidate_routes[0]
+        route_1 = task.candidate_routes[1]
+        expected = 0 if (route_0.support, route_1.source) >= (route_1.support, route_0.source) else 1
+        winner = result.winning_route_index
+        # Deterministic: re-running gives the same winner.
+        assert AnswerAggregator(config).aggregate(task, responses).winning_route_index == winner
+        assert winner in (0, 1)
+        if route_0.support != route_1.support:
+            assert task.candidate_routes[winner].support == max(route_0.support, route_1.support)
+
+    def test_early_stop_consumes_fewer_responses(self, selection_setup):
+        config, _, _, task = selection_setup
+        aggregator = AnswerAggregator(config.with_overrides(early_stop_confidence=0.6))
+        responses = [_response(i, 0) for i in range(1, 6)]
+        result = aggregator.collect_with_early_stop(task, responses, expected_total=5)
+        assert result.stopped_early
+        assert len(result.responses) < 5
+
+    def test_no_early_stop_when_votes_split(self, selection_setup):
+        config, _, _, task = selection_setup
+        aggregator = AnswerAggregator(config.with_overrides(early_stop_confidence=0.95))
+        responses = [_response(1, 0), _response(2, 1), _response(3, 0), _response(4, 1)]
+        result = aggregator.collect_with_early_stop(task, responses, expected_total=6)
+        assert len(result.responses) == 4
+        assert not result.stopped_early
+
+
+class TestRewards:
+    def test_rewards_proportional_to_questions_with_agreement_bonus(self, selection_setup, scenario):
+        config, _, _, task = selection_setup
+        ledger = RewardLedger(scenario.worker_pool, config, agreement_bonus=2.0)
+        worker_ids = scenario.worker_pool.ids()[:2]
+        answers = [Answer(worker_ids[0], task.selected_landmarks[0], True)]
+        responses = [
+            _response(worker_ids[0], 0, answers=answers),
+            _response(worker_ids[1], 1),
+        ]
+        aggregator = AnswerAggregator(config)
+        result = aggregator.aggregate(task, responses)
+        before = {wid: scenario.worker_pool.get(wid).reward_points for wid in worker_ids}
+        entries = ledger.reward_task(result)
+        assert len(entries) == 2
+        for entry in entries:
+            expected = config.reward_per_question * entry.questions_answered + (
+                2.0 if entry.agreed_with_result else 0.0
+            )
+            assert entry.points == pytest.approx(expected)
+            assert scenario.worker_pool.get(entry.worker_id).reward_points == pytest.approx(
+                before[entry.worker_id] + entry.points
+            )
+        assert ledger.total_points_awarded() >= 2.0
+        assert ledger.entries_for(worker_ids[0])
+
+    def test_negative_bonus_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            RewardLedger(scenario.worker_pool, agreement_bonus=-1.0)

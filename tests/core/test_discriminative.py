@@ -1,0 +1,100 @@
+"""Tests for repro.core.discriminative (Definitions 4 and 5 of the paper)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.discriminative import is_discriminative, is_simplest_discriminative, route_signatures
+
+from .helpers import landmark_route, paper_example_routes
+
+
+class TestPaperDefinitions:
+    """The worked example from Section II-A of the paper."""
+
+    def setup_method(self):
+        self.r1 = landmark_route(0, [1, 2, 3])
+        self.r2 = landmark_route(1, [1, 2, 4])
+
+    def test_l3_l4_is_discriminative(self):
+        assert is_discriminative([3, 4], [self.r1, self.r2])
+
+    def test_l1_l2_is_not_discriminative(self):
+        assert not is_discriminative([1, 2], [self.r1, self.r2])
+
+    def test_l3_l4_is_not_simplest(self):
+        assert not is_simplest_discriminative([3, 4], [self.r1, self.r2])
+
+    def test_singletons_are_simplest(self):
+        assert is_simplest_discriminative([3], [self.r1, self.r2])
+        assert is_simplest_discriminative([4], [self.r1, self.r2])
+
+
+class TestEdgeCases:
+    def test_single_route_everything_discriminative(self):
+        route = landmark_route(0, [1, 2])
+        assert is_discriminative([], [route])
+        assert is_simplest_discriminative([], [route])
+
+    def test_empty_set_not_discriminative_for_two_routes(self):
+        routes = [landmark_route(0, [1]), landmark_route(1, [2])]
+        assert not is_discriminative([], routes)
+
+    def test_identical_routes_cannot_be_discriminated(self):
+        routes = [landmark_route(0, [1, 2]), landmark_route(1, [2, 1])]
+        assert not is_discriminative([1, 2], routes)
+
+    def test_duplicate_landmarks_in_set_do_not_break_minimality(self):
+        routes = [landmark_route(0, [1, 2, 3]), landmark_route(1, [1, 2, 4])]
+        assert is_simplest_discriminative([3, 3], routes)
+
+    def test_route_signatures(self):
+        routes, _ = paper_example_routes()
+        signatures = route_signatures([2, 3], routes)
+        assert signatures[0] == frozenset({2})
+        assert signatures[2] == frozenset({3})
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), min_size=1, max_size=6),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        )
+    )
+    def test_full_landmark_set_is_discriminative_iff_routes_distinct(self, landmark_sets):
+        routes = [landmark_route(i, sorted(s)) for i, s in enumerate(landmark_sets)]
+        all_landmarks = sorted(set().union(*landmark_sets))
+        # Because the sets themselves are pairwise distinct, the union of all
+        # landmarks always distinguishes them.
+        assert is_discriminative(all_landmarks, routes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=6), min_size=1, max_size=5),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        st.sets(st.integers(min_value=0, max_value=6), max_size=4),
+    )
+    def test_supersets_of_discriminative_sets_are_discriminative(self, landmark_sets, extra):
+        routes = [landmark_route(i, sorted(s)) for i, s in enumerate(landmark_sets)]
+        all_landmarks = sorted(set().union(*landmark_sets))
+        if not is_discriminative(all_landmarks, routes):
+            return
+        # Find any simplest discriminative subset by greedy removal, then
+        # verify every superset of it stays discriminative.
+        base = list(all_landmarks)
+        for landmark in list(base):
+            reduced = [l for l in base if l != landmark]
+            if is_discriminative(reduced, routes):
+                base = reduced
+        assert is_simplest_discriminative(base, routes)
+        superset = sorted(set(base) | set(extra))
+        assert is_discriminative(superset, routes)

@@ -1,0 +1,152 @@
+"""Tests for repro.core.landmark_selection (Section III-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.discriminative import is_discriminative
+from repro.core.landmark_selection import (
+    BruteForceSelector,
+    GreedySelector,
+    IncrementalLandmarkSelector,
+    SelectionResult,
+    minimum_set_size,
+    objective_value,
+)
+from repro.exceptions import TaskGenerationError
+
+from .helpers import landmark_route, paper_example_routes
+
+
+ALL_SELECTORS = [BruteForceSelector, GreedySelector, IncrementalLandmarkSelector]
+
+
+class TestObjective:
+    def test_objective_value_is_mean_significance(self):
+        assert objective_value([1, 2], {1: 0.4, 2: 0.8}) == pytest.approx(0.6)
+
+    def test_objective_empty(self):
+        assert objective_value([], {}) == 0.0
+
+    def test_minimum_set_size(self):
+        assert minimum_set_size(1) == 0
+        assert minimum_set_size(2) == 1
+        assert minimum_set_size(4) == 2
+        assert minimum_set_size(5) == 3
+
+
+class TestSelectorsOnPaperExample:
+    @pytest.mark.parametrize("selector_cls", ALL_SELECTORS)
+    def test_result_is_discriminative(self, selector_cls):
+        routes, significance = paper_example_routes()
+        result = selector_cls().select(routes, significance)
+        assert is_discriminative(result.landmark_ids, routes)
+
+    @pytest.mark.parametrize("selector_cls", ALL_SELECTORS)
+    def test_result_meets_size_lower_bound(self, selector_cls):
+        routes, significance = paper_example_routes()
+        result = selector_cls().select(routes, significance)
+        assert len(result.landmark_ids) >= minimum_set_size(len(routes))
+
+    @pytest.mark.parametrize("selector_cls", [GreedySelector, IncrementalLandmarkSelector])
+    def test_matches_brute_force_optimum(self, selector_cls):
+        routes, significance = paper_example_routes()
+        exact = BruteForceSelector().select(routes, significance)
+        heuristic = selector_cls().select(routes, significance)
+        assert heuristic.value == pytest.approx(exact.value)
+
+    @pytest.mark.parametrize("selector_cls", ALL_SELECTORS)
+    def test_never_selects_common_or_absent_landmarks(self, selector_cls):
+        routes, significance = paper_example_routes()
+        result = selector_cls().select(routes, significance)
+        # l1 and l10 are on every route and cannot discriminate anything.
+        assert 1 not in result.landmark_ids
+        assert 10 not in result.landmark_ids
+
+    def test_greedy_evaluates_fewer_sets_than_brute_force(self):
+        routes, significance = paper_example_routes()
+        brute = BruteForceSelector().select(routes, significance)
+        greedy = GreedySelector().select(routes, significance)
+        assert greedy.evaluated_sets < brute.evaluated_sets
+
+
+class TestErrorHandling:
+    @pytest.mark.parametrize("selector_cls", ALL_SELECTORS)
+    def test_single_route_rejected(self, selector_cls):
+        routes, significance = paper_example_routes()
+        with pytest.raises(TaskGenerationError):
+            selector_cls().select(routes[:1], significance)
+
+    @pytest.mark.parametrize("selector_cls", ALL_SELECTORS)
+    def test_indistinguishable_routes_rejected(self, selector_cls):
+        routes = [landmark_route(0, [1, 2]), landmark_route(1, [2, 1])]
+        with pytest.raises(TaskGenerationError):
+            selector_cls().select(routes, {1: 0.5, 2: 0.5})
+
+    def test_missing_significance_rejected(self):
+        routes = [landmark_route(0, [1, 2]), landmark_route(1, [1, 3])]
+        with pytest.raises(TaskGenerationError):
+            GreedySelector().select(routes, {1: 0.5, 2: 0.5})
+
+    def test_invalid_candidate_cap(self):
+        with pytest.raises(TaskGenerationError):
+            GreedySelector(max_candidate_landmarks=0)
+
+    def test_candidate_cap_equal_to_candidates_is_lossless(self):
+        routes, significance = paper_example_routes()
+        uncapped = GreedySelector().select(routes, significance)
+        capped = GreedySelector(max_candidate_landmarks=8).select(routes, significance)
+        assert capped.value == pytest.approx(uncapped.value)
+
+    def test_too_small_candidate_cap_raises(self):
+        # With only the 2 most significant beneficial landmarks available no
+        # discriminative set exists for the 4-route example, so the selector
+        # must fail loudly rather than return a non-discriminative set.
+        routes, significance = paper_example_routes()
+        with pytest.raises(TaskGenerationError):
+            GreedySelector(max_candidate_landmarks=2).select(routes, significance)
+
+
+@st.composite
+def distinguishable_route_sets(draw):
+    """Random route sets whose landmark sets are pairwise distinct."""
+    num_landmarks = draw(st.integers(min_value=4, max_value=9))
+    num_routes = draw(st.integers(min_value=2, max_value=4))
+    sets = draw(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=num_landmarks - 1), min_size=1, max_size=num_landmarks),
+            min_size=num_routes,
+            max_size=num_routes,
+            unique=True,
+        )
+    )
+    significance = {
+        lid: round(draw(st.floats(min_value=0.01, max_value=1.0)), 3) for lid in range(num_landmarks)
+    }
+    routes = [landmark_route(i, sorted(s)) for i, s in enumerate(sets)]
+    return routes, significance
+
+
+class TestSelectorAgreementProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(distinguishable_route_sets())
+    def test_greedy_and_ils_match_brute_force(self, data):
+        routes, significance = data
+        try:
+            exact = BruteForceSelector().select(routes, significance)
+        except TaskGenerationError:
+            # No discriminative set exists (e.g. one landmark set contains another
+            # and they coincide on every candidate landmark) — all selectors
+            # must agree on the failure.
+            with pytest.raises(TaskGenerationError):
+                GreedySelector().select(routes, significance)
+            with pytest.raises(TaskGenerationError):
+                IncrementalLandmarkSelector().select(routes, significance)
+            return
+        greedy = GreedySelector().select(routes, significance)
+        ils = IncrementalLandmarkSelector().select(routes, significance)
+        assert greedy.value == pytest.approx(exact.value, abs=1e-9)
+        assert ils.value == pytest.approx(exact.value, abs=1e-9)
+        assert is_discriminative(greedy.landmark_ids, routes)
+        assert is_discriminative(ils.landmark_ids, routes)

@@ -1,0 +1,157 @@
+"""Tests for the CrowdPlanner facade."""
+
+import pytest
+
+from repro.config import PlannerConfig
+from repro.core.planner import CrowdPlanner
+from repro.exceptions import CrowdPlannerError, RoutingError
+from repro.routing.base import CandidateRoute, RouteQuery, RouteSource
+
+
+class FixedSource(RouteSource):
+    """A test double returning a pre-baked route."""
+
+    def __init__(self, name, path, support=0):
+        self.name = name
+        self._path = path
+        self.support = support
+
+    def recommend(self, query):
+        return CandidateRoute(path=self._path, source=self.name, support=self.support)
+
+
+class FailingSource(RouteSource):
+    name = "failing"
+
+    def recommend(self, query):
+        raise RoutingError("this source always fails")
+
+
+class TestPlannerConstruction:
+    def test_requires_sources(self, scenario):
+        with pytest.raises(CrowdPlannerError):
+            CrowdPlanner(
+                network=scenario.network,
+                catalog=scenario.catalog,
+                calibrator=scenario.calibrator,
+                sources=[],
+                worker_pool=scenario.worker_pool,
+            )
+
+    def test_crowd_needed_without_backend_raises(self, scenario):
+        planner = CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=scenario.sources,
+            worker_pool=scenario.worker_pool,
+            crowd_backend=None,
+        )
+        queries = scenario.sample_queries(10, seed=77)
+        raised = False
+        for query in queries:
+            try:
+                planner.recommend(query)
+            except CrowdPlannerError:
+                raised = True
+                break
+        assert raised, "at least one query should have required the crowd"
+
+
+class TestPlannerPipeline:
+    def test_recommendation_returns_valid_route(self, scenario, planner):
+        query = scenario.sample_queries(1, seed=402)[0]
+        result = planner.recommend(query)
+        scenario.network.validate_path(list(result.route.path))
+        assert result.route.path[0] == query.origin
+        assert result.route.path[-1] == query.destination
+        assert 0.0 <= result.confidence <= 1.0
+
+    def test_repeated_query_hits_truth_store(self, scenario, planner):
+        query = scenario.sample_queries(1, seed=403)[0]
+        first = planner.recommend(query)
+        second = planner.recommend(query)
+        assert second.method == "truth_reuse"
+        assert second.route.path == first.route.path
+
+    def test_statistics_accumulate(self, scenario, planner):
+        before = planner.statistics.requests
+        query = scenario.sample_queries(1, seed=404)[0]
+        planner.recommend(query)
+        assert planner.statistics.requests == before + 1
+        counters = planner.statistics.as_dict()
+        assert counters["requests"] >= counters["truth_hits"]
+
+    def test_crowd_path_updates_rewards_and_history(self, scenario):
+        # Use a dedicated planner so accumulated state from other tests does
+        # not interfere.
+        planner = scenario.build_planner()
+        crowd_result = None
+        for query in scenario.sample_queries(15, seed=405):
+            result = planner.recommend(query)
+            if result.used_crowd:
+                crowd_result = result
+                break
+        if crowd_result is None:
+            pytest.skip("no query required the crowd in this sample")
+        assert crowd_result.task_result is not None
+        assert crowd_result.task_result.responses
+        rewarded_workers = {r.worker_id for r in crowd_result.task_result.responses}
+        assert any(scenario.worker_pool.get(w).reward_points > 0 for w in rewarded_workers)
+        # Outstanding-task counters must be released after the task finishes.
+        assert all(scenario.worker_pool.get(w).outstanding_tasks == 0 for w in rewarded_workers)
+
+    def test_single_candidate_short_circuits(self, scenario):
+        path_query = scenario.sample_queries(1, seed=406)[0]
+        ground_path = scenario.ground_truth_path(path_query)
+        planner = CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=[FixedSource("only", ground_path), FailingSource()],
+            worker_pool=scenario.worker_pool,
+            crowd_backend=scenario.crowd,
+        )
+        result = planner.recommend(path_query)
+        assert result.method == "single_candidate"
+        assert list(result.route.path) == ground_path
+
+    def test_agreeing_sources_answered_automatically(self, scenario):
+        query = scenario.sample_queries(1, seed=407)[0]
+        ground_path = scenario.ground_truth_path(query)
+        planner = CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=[FixedSource("a", ground_path), FixedSource("b", list(ground_path), support=3)],
+            worker_pool=scenario.worker_pool,
+            crowd_backend=scenario.crowd,
+        )
+        result = planner.recommend(query)
+        # Identical paths are deduplicated into a single candidate.
+        assert result.method in ("single_candidate", "agreement")
+        assert list(result.route.path) == ground_path
+
+    def test_no_source_produces_route_raises(self, scenario):
+        planner = CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=[FailingSource()],
+            worker_pool=scenario.worker_pool,
+            crowd_backend=scenario.crowd,
+        )
+        with pytest.raises(RoutingError):
+            planner.recommend(scenario.sample_queries(1, seed=408)[0])
+
+    def test_generate_candidates_deduplicates(self, scenario):
+        query = scenario.sample_queries(1, seed=409)[0]
+        ground_path = scenario.ground_truth_path(query)
+        planner = CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=[FixedSource("a", ground_path), FixedSource("b", ground_path)],
+            worker_pool=scenario.worker_pool,
+        )
+        assert len(planner.generate_candidates(query)) == 1

@@ -1,0 +1,112 @@
+"""Tests for repro.core.question_ordering (Section III-C)."""
+
+import math
+
+import pytest
+
+from repro.core.landmark_selection import GreedySelector
+from repro.core.question_ordering import build_question_tree, information_strength
+from repro.exceptions import TaskGenerationError
+
+from .helpers import landmark_route, paper_example_routes
+
+
+class TestInformationStrength:
+    def test_zero_when_landmark_on_all_routes(self):
+        routes, significance = paper_example_routes()
+        assert information_strength(1, routes, significance) == pytest.approx(0.0)
+
+    def test_zero_when_landmark_on_no_route(self):
+        routes, significance = paper_example_routes()
+        assert information_strength(99, routes, significance) == pytest.approx(0.0)
+
+    def test_even_split_maximises_information_gain(self):
+        routes, significance = paper_example_routes()
+        # l2 splits the 4 routes 2/2 (full bit of information); l6 splits 2/2
+        # as well but with lower significance; l7 splits 1/3.
+        gain_l2 = information_strength(2, routes, significance)
+        gain_l7 = information_strength(7, routes, significance)
+        assert gain_l2 > gain_l7
+
+    def test_scaled_by_significance(self):
+        routes, _ = paper_example_routes()
+        low = information_strength(2, routes, {2: 0.1})
+        high = information_strength(2, routes, {2: 0.9})
+        assert high == pytest.approx(9 * low)
+
+    def test_empty_routes(self):
+        assert information_strength(1, [], {1: 0.5}) == 0.0
+
+
+class TestBuildTree:
+    def test_requires_discriminative_set(self):
+        routes, significance = paper_example_routes()
+        with pytest.raises(TaskGenerationError):
+            build_question_tree(routes, [9], significance)
+
+    def test_requires_routes(self):
+        with pytest.raises(TaskGenerationError):
+            build_question_tree([], [1], {1: 0.5})
+
+    def test_every_leaf_resolves_to_one_route(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        for route in routes:
+            answers = {lid: route.passes(lid) for lid in selection.landmark_ids}
+            decided, asked = tree.traverse(answers)
+            assert decided.landmark_set == route.landmark_set
+            assert len(asked) <= len(selection.landmark_ids)
+
+    def test_depth_bounds(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        assert math.ceil(math.log2(len(routes))) <= tree.depth() <= len(selection.landmark_ids)
+
+    def test_expected_questions_at_most_depth(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        assert tree.expected_questions() <= tree.depth() + 1e-9
+        assert tree.expected_questions() >= 1.0
+
+    def test_first_question_has_maximum_information_strength(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        root_landmark = tree.root.landmark_id
+        best = max(
+            selection.landmark_ids,
+            key=lambda lid: information_strength(lid, routes, significance),
+        )
+        assert information_strength(root_landmark, routes, significance) == pytest.approx(
+            information_strength(best, routes, significance)
+        )
+
+    def test_traverse_with_missing_answer_raises(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        with pytest.raises(TaskGenerationError):
+            tree.traverse({})
+
+    def test_question_sequence_for_route(self):
+        routes, significance = paper_example_routes()
+        selection = GreedySelector().select(routes, significance)
+        tree = build_question_tree(routes, selection.landmark_ids, significance)
+        sequence = tree.question_sequence_for(routes[0])
+        assert sequence
+        assert all(lid in selection.landmark_ids for lid in sequence)
+
+    def test_two_identical_routes_single_leaf_fallback(self):
+        # Indistinguishable remainder resolves deterministically by support.
+        routes = [landmark_route(0, [1], support=1), landmark_route(1, [1], support=5)]
+        tree = build_question_tree(routes[:1], [], {1: 0.5})
+        assert tree.root.is_leaf
+
+    def test_single_route_tree_is_leaf(self):
+        routes, significance = paper_example_routes()
+        tree = build_question_tree(routes[:1], [2, 3], significance)
+        assert tree.root.is_leaf
+        assert tree.depth() == 0

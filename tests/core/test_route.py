@@ -1,0 +1,74 @@
+"""Tests for repro.core.route."""
+
+import pytest
+
+from repro.core.route import (
+    LandmarkRoute,
+    beneficial_landmarks,
+    ensure_distinguishable,
+    significance_lookup,
+    to_landmark_routes,
+)
+from repro.exceptions import TaskGenerationError
+from repro.routing.base import CandidateRoute
+
+from .helpers import landmark_route, paper_example_routes
+
+
+class TestLandmarkRoute:
+    def test_landmark_set_and_passes(self):
+        route = landmark_route(0, [3, 1, 2])
+        assert route.landmark_set == frozenset({1, 2, 3})
+        assert route.passes(2)
+        assert not route.passes(9)
+
+    def test_restricted_to(self):
+        route = landmark_route(0, [1, 2, 3])
+        assert route.restricted_to([2, 9]) == frozenset({2})
+
+    def test_source_proxied_from_candidate(self):
+        route = landmark_route(0, [1], source="MFP")
+        assert route.source == "MFP"
+
+
+class TestBeneficialLandmarks:
+    def test_union_minus_intersection(self):
+        routes, _ = paper_example_routes()
+        beneficial = beneficial_landmarks(routes)
+        assert 1 not in beneficial and 10 not in beneficial
+        assert set(beneficial) == {2, 3, 4, 5, 6, 7, 8, 9}
+
+    def test_empty_input(self):
+        assert beneficial_landmarks([]) == []
+
+    def test_identical_routes_have_no_beneficial_landmarks(self):
+        routes = [landmark_route(0, [1, 2]), landmark_route(1, [1, 2])]
+        assert beneficial_landmarks(routes) == []
+
+
+class TestEnsureDistinguishable:
+    def test_accepts_distinct_routes(self):
+        routes, _ = paper_example_routes()
+        ensure_distinguishable(routes)
+
+    def test_rejects_duplicate_landmark_sets(self):
+        routes = [landmark_route(0, [1, 2]), landmark_route(1, [2, 1])]
+        with pytest.raises(TaskGenerationError):
+            ensure_distinguishable(routes)
+
+
+class TestCalibrationBridge:
+    def test_to_landmark_routes(self, small_network, small_catalog, small_calibrator):
+        from repro.roadnet.shortest_path import dijkstra_path
+
+        path = dijkstra_path(small_network, 0, small_network.node_count - 1)
+        candidate = CandidateRoute(path=path, source="shortest")
+        landmark_routes = to_landmark_routes([candidate], small_calibrator)
+        assert len(landmark_routes) == 1
+        assert landmark_routes[0].route is candidate
+        assert list(landmark_routes[0].landmark_sequence) == small_calibrator.calibrate_path(path)
+
+    def test_significance_lookup(self, small_catalog):
+        routes = [landmark_route(0, small_catalog.ids()[:3])]
+        scores = significance_lookup(routes, small_catalog)
+        assert set(scores) == set(small_catalog.ids()[:3])

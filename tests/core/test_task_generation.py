@@ -1,0 +1,93 @@
+"""Tests for repro.core.task_generation and repro.core.task."""
+
+import pytest
+
+from repro.core.discriminative import is_discriminative
+from repro.core.task import render_question
+from repro.core.task_generation import TaskGenerator
+from repro.exceptions import TaskGenerationError
+from repro.routing.base import CandidateRoute, RouteQuery
+from repro.roadnet.shortest_path import k_shortest_paths
+
+
+@pytest.fixture(scope="module")
+def task_setup(scenario):
+    """A query with genuinely different candidate routes plus a generator."""
+    generator = TaskGenerator(scenario.calibrator, scenario.catalog)
+    for query in scenario.sample_queries(20, seed=101):
+        candidates = []
+        seen = set()
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 3:
+            continue
+        try:
+            task = generator.generate(query, candidates)
+        except TaskGenerationError:
+            continue
+        return generator, query, candidates, task
+    pytest.skip("no suitable query with disagreeing candidates found")
+
+
+class TestTaskGeneration:
+    def test_selected_landmarks_are_discriminative(self, task_setup):
+        _, _, _, task = task_setup
+        assert is_discriminative(task.selected_landmarks, task.landmark_routes)
+
+    def test_every_selected_landmark_has_a_question(self, task_setup):
+        _, _, _, task = task_setup
+        assert set(task.questions) == set(task.selected_landmarks)
+
+    def test_question_text_mentions_landmark_name(self, task_setup, scenario):
+        _, _, _, task = task_setup
+        for landmark_id, question in task.questions.items():
+            assert scenario.catalog.get(landmark_id).name in question.text
+
+    def test_expected_questions_le_max_questions(self, task_setup):
+        _, _, _, task = task_setup
+        assert task.expected_questions() <= task.max_questions() + 1e-9
+
+    def test_candidates_preserved(self, task_setup):
+        _, _, candidates, task = task_setup
+        task_paths = {c.path for c in task.candidate_routes}
+        assert task_paths.issubset({c.path for c in candidates})
+        assert task.num_candidates >= 2
+
+    def test_route_index_and_unknown_route(self, task_setup):
+        _, _, _, task = task_setup
+        assert task.route_index(task.landmark_routes[0]) == 0
+        from .helpers import landmark_route
+
+        with pytest.raises(TaskGenerationError):
+            task.route_index(landmark_route(99, [1, 2]))
+
+    def test_question_for_unknown_landmark_raises(self, task_setup):
+        _, _, _, task = task_setup
+        with pytest.raises(TaskGenerationError):
+            task.question_for(-42)
+
+    def test_single_candidate_rejected(self, task_setup):
+        generator, query, candidates, _ = task_setup
+        with pytest.raises(TaskGenerationError):
+            generator.generate(query, candidates[:1])
+
+    def test_duplicate_landmark_signature_routes_are_merged(self, task_setup, scenario):
+        generator, query, candidates, _ = task_setup
+        duplicated = list(candidates) + [
+            CandidateRoute(path=candidates[0].path, source="clone", support=99)
+        ]
+        task = generator.generate(query, duplicated)
+        signatures = [lr.landmark_set for lr in task.landmark_routes]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestRenderQuestion:
+    def test_render_question_includes_time(self, scenario):
+        landmark_id = scenario.catalog.ids()[0]
+        question = render_question(landmark_id, scenario.catalog, departure_time_s=14.5 * 3600)
+        assert "14:30" in question.text
+        assert question.landmark_id == landmark_id

@@ -1,0 +1,82 @@
+"""Tests for the simulated crowd backend."""
+
+import pytest
+
+from repro.core.familiarity import FamiliarityModel
+from repro.core.task_generation import TaskGenerator
+from repro.core.worker_selection import WorkerSelector
+from repro.crowd.behavior import AnswerBehaviorModel
+from repro.crowd.simulator import SimulatedCrowd
+from repro.exceptions import CrowdPlannerError, TaskGenerationError
+
+
+@pytest.fixture(scope="module")
+def crowd_task(scenario):
+    generator = TaskGenerator(scenario.calibrator, scenario.catalog)
+    for query in scenario.sample_queries(30, seed=501):
+        candidates = []
+        seen = set()
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 2:
+            continue
+        try:
+            return generator.generate(query, candidates)
+        except TaskGenerationError:
+            continue
+    pytest.skip("no crowd task could be generated")
+
+
+class TestSimulatedCrowd:
+    def test_no_workers_rejected(self, scenario, crowd_task):
+        with pytest.raises(CrowdPlannerError):
+            scenario.crowd.collect_responses(crowd_task, [])
+
+    def test_responses_cover_all_workers(self, scenario, crowd_task):
+        worker_ids = scenario.worker_pool.ids()[:5]
+        responses = scenario.crowd.collect_responses(crowd_task, worker_ids)
+        assert sorted(r.worker_id for r in responses) == sorted(worker_ids)
+
+    def test_responses_sorted_by_arrival_time(self, scenario, crowd_task):
+        worker_ids = scenario.worker_pool.ids()[:6]
+        responses = scenario.crowd.collect_responses(crowd_task, worker_ids)
+        times = [r.total_response_time_s for r in responses]
+        assert times == sorted(times)
+
+    def test_answers_follow_question_tree(self, scenario, crowd_task):
+        worker_ids = scenario.worker_pool.ids()[:4]
+        responses = scenario.crowd.collect_responses(crowd_task, worker_ids)
+        for response in responses:
+            assert 0 <= response.chosen_route_index < crowd_task.num_candidates
+            assert response.questions_answered <= crowd_task.max_questions()
+            asked = [answer.landmark_id for answer in response.answers]
+            assert all(lid in crowd_task.selected_landmarks for lid in asked)
+
+    def test_chosen_route_consistent_with_answers(self, scenario, crowd_task):
+        worker_ids = scenario.worker_pool.ids()[:4]
+        responses = scenario.crowd.collect_responses(crowd_task, worker_ids)
+        for response in responses:
+            answers = {answer.landmark_id: answer.says_yes for answer in response.answers}
+            decided, _ = crowd_task.question_tree.traverse(answers)
+            assert crowd_task.route_index(decided) == response.chosen_route_index
+
+    def test_knowledgeable_crowd_finds_preferred_route(self, scenario, crowd_task):
+        """With a perfectly accurate crowd the verdict matches the candidate
+        closest to the ground-truth route."""
+        perfect = SimulatedCrowd(
+            pool=scenario.worker_pool,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            ground_truth=scenario.ground_truth_path,
+            behavior=AnswerBehaviorModel(max_accuracy=1.0, base_accuracy=1.0),
+            seed=5,
+        )
+        worker_ids = scenario.worker_pool.ids()[:5]
+        responses = perfect.collect_responses(crowd_task, worker_ids)
+        # All perfectly informed workers traverse the tree identically.
+        chosen = {response.chosen_route_index for response in responses}
+        assert len(chosen) == 1

@@ -1,0 +1,85 @@
+"""Tests for the scenario builder and query workloads."""
+
+import pytest
+
+from repro.datasets.synthetic_city import SyntheticCityConfig, build_scenario
+from repro.datasets.workloads import QueryWorkloadConfig, generate_query_workload
+from repro.exceptions import ConfigurationError
+
+
+class TestSyntheticCityConfig:
+    def test_rejects_tiny_city(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCityConfig(rows=2, cols=2)
+
+
+class TestScenario:
+    def test_scenario_components_consistent(self, scenario):
+        assert scenario.network.node_count == scenario.config.rows * scenario.config.cols
+        assert len(scenario.catalog) == scenario.config.num_landmarks
+        assert len(scenario.worker_pool) == scenario.config.num_workers
+        assert len(scenario.store) > 0
+        assert len(scenario.sources) == 6
+
+    def test_landmarks_have_inferred_significance(self, scenario):
+        scores = [lm.significance for lm in scenario.catalog]
+        assert max(scores) == pytest.approx(1.0)
+        assert len({round(s, 6) for s in scores}) > 5
+
+    def test_ground_truth_path_valid(self, scenario):
+        query = scenario.sample_queries(1, seed=601)[0]
+        path = scenario.ground_truth_path(query)
+        scenario.network.validate_path(path)
+        assert path[0] == query.origin and path[-1] == query.destination
+
+    def test_sample_queries_count_and_distance(self, scenario):
+        queries = scenario.sample_queries(8, seed=602)
+        assert len(queries) == 8
+        for query in queries:
+            distance = scenario.network.node_location(query.origin).distance_to(
+                scenario.network.node_location(query.destination)
+            )
+            assert distance >= 4 * scenario.config.block_size_m
+
+    def test_sample_queries_deterministic(self, scenario):
+        a = scenario.sample_queries(5, seed=603)
+        b = scenario.sample_queries(5, seed=603)
+        assert [(q.origin, q.destination) for q in a] == [(q.origin, q.destination) for q in b]
+
+    def test_build_planner_without_worker_preparation(self, scenario):
+        planner = scenario.build_planner(prepare_workers=False)
+        assert planner.worker_selector is None
+
+
+class TestQueryWorkload:
+    def test_requires_base_pairs(self, scenario):
+        with pytest.raises(ConfigurationError):
+            generate_query_workload(scenario.network, [], QueryWorkloadConfig(num_queries=5))
+
+    def test_workload_size_and_validity(self, scenario):
+        workload = generate_query_workload(
+            scenario.network,
+            scenario.hot_pairs,
+            QueryWorkloadConfig(num_queries=50, num_distinct_pairs=10, seed=11),
+        )
+        assert 0 < len(workload) <= 50
+        for query in workload:
+            assert query.origin != query.destination
+            assert 0 <= query.departure_time_s < 24 * 3600
+
+    def test_workload_repeats_popular_pairs(self, scenario):
+        workload = generate_query_workload(
+            scenario.network,
+            scenario.hot_pairs,
+            QueryWorkloadConfig(num_queries=80, num_distinct_pairs=5, endpoint_jitter_m=0.0, seed=12),
+        )
+        pairs = [(q.origin, q.destination) for q in workload]
+        assert len(set(pairs)) <= 5
+        most_common_count = max(pairs.count(pair) for pair in set(pairs))
+        assert most_common_count > len(workload) / 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadConfig(num_distinct_pairs=0)
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadConfig(zipf_exponent=0)

@@ -1,0 +1,71 @@
+"""Tests for the experiment metrics and result container."""
+
+import pytest
+
+from repro.experiments.metrics import ExperimentResult, exact_match, route_quality, route_similarity
+
+
+class TestRouteSimilarity:
+    def test_identical(self):
+        assert route_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_disjoint(self):
+        assert route_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial_overlap_symmetric(self):
+        a, b = [1, 2, 3, 4], [1, 2, 5, 4]
+        assert 0 < route_similarity(a, b) < 1
+        assert route_similarity(a, b) == route_similarity(b, a)
+
+    def test_exact_match(self):
+        assert exact_match([1, 2], [1, 2])
+        assert not exact_match([1, 2], [2, 1])
+
+
+class TestRouteQuality:
+    def test_identical_routes_quality_one(self, tiny_network):
+        assert route_quality(tiny_network, [0, 1, 3], [0, 1, 3]) == pytest.approx(1.0)
+
+    def test_disjoint_routes_quality_zero(self, tiny_network):
+        assert route_quality(tiny_network, [0, 2, 3], [0, 1, 3]) == pytest.approx(0.0)
+
+    def test_partial_overlap_weighted_by_length(self, tiny_network):
+        # Recommended 0-3 direct (250 m) vs truth 0-1-3: zero shared length.
+        assert route_quality(tiny_network, [0, 3], [0, 1, 3]) == 0.0
+        # Recommended 0-1-3, truth 0-1 only: the first 100 m of 200 m match.
+        assert route_quality(tiny_network, [0, 1, 3], [0, 1]) == pytest.approx(0.5)
+
+
+class TestExperimentResult:
+    def test_add_row_and_columns(self):
+        result = ExperimentResult("T1", "test")
+        result.add_row(name="a", value=1.0)
+        result.add_row(name="b", value=3.0)
+        assert result.column("value") == [1.0, 3.0]
+        assert result.mean_of("value") == 2.0
+
+    def test_best_row(self):
+        result = ExperimentResult("T1", "test")
+        result.add_row(name="a", value=1.0)
+        result.add_row(name="b", value=3.0)
+        assert result.best_row("value")["name"] == "b"
+        assert result.best_row("value", largest=False)["name"] == "a"
+
+    def test_best_row_missing_column(self):
+        result = ExperimentResult("T1", "test")
+        result.add_row(name="a")
+        with pytest.raises(ValueError):
+            result.best_row("value")
+
+    def test_to_table_renders_all_rows(self):
+        result = ExperimentResult("T1", "demo table")
+        result.add_row(source="MFP", quality=0.91)
+        result.add_row(source="MPR", quality=0.78)
+        result.summary["winner"] = "MFP"
+        text = result.to_table()
+        assert "demo table" in text
+        assert "MFP" in text and "MPR" in text
+        assert "winner" in text
+
+    def test_to_table_empty(self):
+        assert "(no rows)" in ExperimentResult("T1", "empty").to_table()

@@ -1,0 +1,67 @@
+"""Tests for repro.landmarks.checkins."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.landmarks.checkins import CheckInSimulator, CheckInSimulatorConfig
+from repro.landmarks.generator import LandmarkGeneratorConfig, generate_landmarks, intrinsic_attractiveness
+from repro.landmarks.model import LandmarkCatalog
+
+
+@pytest.fixture(scope="module")
+def simulator(small_network):
+    catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=60, seed=12))
+    return CheckInSimulator(catalog, small_network.bounding_box(), CheckInSimulatorConfig(num_users=40, checkins_per_user=20, seed=13))
+
+
+class TestConfig:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CheckInSimulatorConfig(num_users=0)
+        with pytest.raises(ConfigurationError):
+            CheckInSimulatorConfig(distance_decay_m=0)
+        with pytest.raises(ConfigurationError):
+            CheckInSimulatorConfig(travel_probability=1.5)
+
+    def test_empty_catalog_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            CheckInSimulator(LandmarkCatalog(), small_network.bounding_box())
+
+
+class TestSimulation:
+    def test_checkin_counts(self, simulator):
+        checkins = simulator.generate()
+        assert len(checkins) == 40 * 20
+
+    def test_homes_inside_bounding_box(self, simulator, small_network):
+        homes = simulator.generate_user_homes()
+        box = small_network.bounding_box()
+        assert len(homes) == 40
+        assert all(box.contains(home) for home in homes.values())
+
+    def test_checkins_reference_known_landmarks(self, simulator):
+        checkins = simulator.generate()
+        catalog_ids = set(simulator.catalog.ids())
+        assert all(checkin.landmark_id in catalog_ids for checkin in checkins)
+
+    def test_deterministic_for_seed(self, simulator):
+        first = simulator.generate()
+        second = simulator.generate()
+        assert [(c.user_id, c.landmark_id) for c in first] == [(c.user_id, c.landmark_id) for c in second]
+
+    def test_attractive_landmarks_get_more_checkins(self, simulator):
+        checkins = simulator.generate()
+        counts = CheckInSimulator.visit_counts(checkins)
+        landmarks = simulator.catalog.all()
+        attractive = [lm for lm in landmarks if intrinsic_attractiveness(lm) >= 2.5]
+        dull = [lm for lm in landmarks if intrinsic_attractiveness(lm) <= 0.5]
+        if not attractive or not dull:
+            pytest.skip("catalogue sample lacks both extremes")
+        mean_attractive = sum(counts.get(lm.landmark_id, 0) for lm in attractive) / len(attractive)
+        mean_dull = sum(counts.get(lm.landmark_id, 0) for lm in dull) / len(dull)
+        assert mean_attractive > mean_dull
+
+    def test_visit_counts_total(self, simulator):
+        checkins = simulator.generate()
+        counts = CheckInSimulator.visit_counts(checkins)
+        assert sum(counts.values()) == len(checkins)

@@ -1,0 +1,76 @@
+"""Tests for repro.landmarks.generator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.landmarks.generator import (
+    LandmarkGeneratorConfig,
+    generate_landmarks,
+    intrinsic_attractiveness,
+)
+from repro.landmarks.model import LandmarkKind
+
+
+class TestConfig:
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            LandmarkGeneratorConfig(count=0)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigurationError):
+            LandmarkGeneratorConfig(region_fraction=0.8, line_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            LandmarkGeneratorConfig(region_fraction=-0.1)
+
+
+class TestGeneration:
+    def test_count_and_unique_ids(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=80, seed=2))
+        assert len(catalog) == 80
+        assert len(set(catalog.ids())) == 80
+
+    def test_landmarks_near_network(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=40, seed=3))
+        box = small_network.bounding_box().expanded(100)
+        for landmark in catalog:
+            assert box.contains(landmark.anchor)
+
+    def test_significance_initially_zero(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=20, seed=4))
+        assert all(lm.significance == 0.0 for lm in catalog)
+
+    def test_deterministic_for_seed(self, small_network):
+        a = generate_landmarks(small_network, LandmarkGeneratorConfig(count=30, seed=9))
+        b = generate_landmarks(small_network, LandmarkGeneratorConfig(count=30, seed=9))
+        assert [lm.anchor for lm in a.all()] == [lm.anchor for lm in b.all()]
+
+    def test_kind_mix(self, small_network):
+        catalog = generate_landmarks(
+            small_network,
+            LandmarkGeneratorConfig(count=200, region_fraction=0.2, line_fraction=0.2, seed=5),
+        )
+        kinds = {lm.kind for lm in catalog}
+        assert kinds == {LandmarkKind.POINT, LandmarkKind.LINE, LandmarkKind.REGION}
+
+    def test_point_landmarks_have_zero_extent(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=100, seed=6))
+        for landmark in catalog:
+            if landmark.kind is LandmarkKind.POINT:
+                assert landmark.extent_m == 0.0
+            else:
+                assert landmark.extent_m > 0.0
+
+
+class TestAttractiveness:
+    def test_known_categories_have_positive_weights(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=50, seed=7))
+        for landmark in catalog:
+            assert intrinsic_attractiveness(landmark) > 0
+
+    def test_famous_category_more_attractive_than_residential(self, small_network):
+        catalog = generate_landmarks(small_network, LandmarkGeneratorConfig(count=300, seed=8))
+        by_category = {lm.category: lm for lm in catalog}
+        if "landmark" in by_category and "residential" in by_category:
+            assert intrinsic_attractiveness(by_category["landmark"]) > intrinsic_attractiveness(
+                by_category["residential"]
+            )

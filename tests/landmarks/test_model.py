@@ -1,0 +1,82 @@
+"""Tests for repro.landmarks.model."""
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.landmarks.model import Landmark, LandmarkCatalog, LandmarkKind
+from repro.spatial import Point
+
+
+def make_landmark(landmark_id, x=0.0, y=0.0, significance=0.0, extent=0.0):
+    return Landmark(
+        landmark_id=landmark_id,
+        name=f"lm-{landmark_id}",
+        kind=LandmarkKind.POINT,
+        anchor=Point(x, y),
+        extent_m=extent,
+        significance=significance,
+    )
+
+
+class TestLandmark:
+    def test_rejects_negative_extent(self):
+        with pytest.raises(LandmarkError):
+            make_landmark(1, extent=-1)
+
+    def test_rejects_out_of_range_significance(self):
+        with pytest.raises(LandmarkError):
+            make_landmark(1, significance=1.5)
+
+    def test_with_significance_returns_copy(self):
+        original = make_landmark(1, significance=0.2)
+        updated = original.with_significance(0.8)
+        assert original.significance == 0.2
+        assert updated.significance == 0.8
+        assert updated.landmark_id == 1
+
+
+class TestLandmarkCatalog:
+    def test_add_get_len_iter_contains(self):
+        catalog = LandmarkCatalog([make_landmark(1), make_landmark(2, 100, 100)])
+        assert len(catalog) == 2
+        assert 1 in catalog and 3 not in catalog
+        assert catalog.get(2).anchor == Point(100, 100)
+        assert {lm.landmark_id for lm in catalog} == {1, 2}
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(LandmarkError):
+            LandmarkCatalog().get(9)
+
+    def test_add_replaces_existing(self):
+        catalog = LandmarkCatalog([make_landmark(1, significance=0.1)])
+        catalog.add(make_landmark(1, significance=0.9))
+        assert catalog.get(1).significance == 0.9
+        assert len(catalog) == 1
+
+    def test_nearest_and_within_radius(self):
+        catalog = LandmarkCatalog([make_landmark(1, 0, 0), make_landmark(2, 500, 0)])
+        assert catalog.nearest(Point(10, 0)).landmark_id == 1
+        assert [lm.landmark_id for lm in catalog.within_radius(Point(0, 0), 100)] == [1]
+        assert catalog.nearest(Point(0, 0), max_radius=1.0).landmark_id == 1
+
+    def test_nearest_empty_catalog(self):
+        assert LandmarkCatalog().nearest(Point(0, 0)) is None
+
+    def test_update_significances_partial(self):
+        catalog = LandmarkCatalog([make_landmark(1, significance=0.1), make_landmark(2, significance=0.2)])
+        updated = catalog.update_significances({1: 0.9})
+        assert updated.get(1).significance == 0.9
+        assert updated.get(2).significance == 0.2
+        # The original catalogue is untouched.
+        assert catalog.get(1).significance == 0.1
+
+    def test_top_by_significance(self):
+        catalog = LandmarkCatalog(
+            [make_landmark(1, significance=0.3), make_landmark(2, significance=0.9), make_landmark(3, significance=0.5)]
+        )
+        top = catalog.top_by_significance(2)
+        assert [lm.landmark_id for lm in top] == [2, 3]
+
+    def test_significance_of(self):
+        catalog = LandmarkCatalog([make_landmark(4, significance=0.7)])
+        assert catalog.significance_of(4) == 0.7

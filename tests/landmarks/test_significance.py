@@ -1,0 +1,92 @@
+"""Tests for repro.landmarks.significance (HITS-like inference)."""
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.landmarks.checkins import CheckIn
+from repro.landmarks.model import Landmark, LandmarkCatalog, LandmarkKind
+from repro.landmarks.significance import SignificanceInference, infer_significance
+from repro.spatial import Point
+
+
+def checkin(user_id, landmark_id):
+    return CheckIn(user_id=user_id, landmark_id=landmark_id, time_of_day_s=12 * 3600.0)
+
+
+def catalog_of(count):
+    return LandmarkCatalog(
+        [
+            Landmark(i, f"lm-{i}", LandmarkKind.POINT, Point(i * 100.0, 0.0))
+            for i in range(count)
+        ]
+    )
+
+
+class TestScoresFromEdges:
+    def test_empty_edges(self):
+        assert SignificanceInference().scores_from_edges([]) == {}
+
+    def test_more_visited_landmark_scores_higher(self):
+        edges = [("u1", 1), ("u2", 1), ("u3", 1), ("u1", 2)]
+        scores = SignificanceInference().scores_from_edges(edges)
+        assert scores[1] > scores[2]
+
+    def test_scores_normalised_to_unit_interval(self):
+        edges = [(f"u{i}", i % 3) for i in range(30)]
+        scores = SignificanceInference().scores_from_edges(edges)
+        assert max(scores.values()) == pytest.approx(1.0)
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_repeat_visits_reinforce(self):
+        once = SignificanceInference().scores_from_edges([("u1", 1), ("u1", 2)])
+        repeated = SignificanceInference().scores_from_edges([("u1", 1), ("u1", 1), ("u1", 1), ("u1", 2)])
+        assert repeated[2] < once[2] + 1e-9
+
+    def test_mutual_reinforcement(self):
+        # Landmark 3 is visited only once, but by a traveller who also visits
+        # the popular hubs; landmark 4 is visited once by an otherwise idle
+        # user.  HITS should rank 3 above 4.
+        edges = [("expert", 1), ("expert", 2), ("expert", 3)]
+        edges += [(f"u{i}", 1) for i in range(5)]
+        edges += [(f"u{i}", 2) for i in range(5)]
+        edges += [("loner", 4)]
+        scores = SignificanceInference().scores_from_edges(edges)
+        assert scores[3] > scores[4]
+
+    def test_build_edges_combines_sources(self):
+        inference = SignificanceInference()
+        edges = inference.build_edges(
+            checkins=[checkin(1, 10)],
+            taxi_visits={7: [10, 11]},
+        )
+        assert ("lbsn:1", 10) in edges
+        assert ("taxi:7", 11) in edges
+        assert len(edges) == 3
+
+
+class TestInferSignificance:
+    def test_updates_catalog_scores(self):
+        catalog = catalog_of(3)
+        checkins = [checkin(u, 0) for u in range(5)] + [checkin(9, 1)]
+        updated = infer_significance(catalog, checkins)
+        assert updated.get(0).significance == pytest.approx(1.0)
+        assert updated.get(0).significance > updated.get(1).significance
+
+    def test_unvisited_landmark_gets_floor(self):
+        catalog = catalog_of(2)
+        updated = infer_significance(catalog, [checkin(1, 0)], floor=0.05)
+        assert updated.get(1).significance == pytest.approx(0.05)
+
+    def test_invalid_floor(self):
+        with pytest.raises(LandmarkError):
+            infer_significance(catalog_of(1), [], floor=2.0)
+
+    def test_original_catalog_unchanged(self):
+        catalog = catalog_of(2)
+        infer_significance(catalog, [checkin(1, 0)])
+        assert all(lm.significance == 0.0 for lm in catalog)
+
+    def test_taxi_visits_alone_work(self):
+        catalog = catalog_of(3)
+        updated = infer_significance(catalog, [], taxi_visits={1: [0, 0, 1], 2: [0]})
+        assert updated.get(0).significance > updated.get(2).significance

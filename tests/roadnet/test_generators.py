@@ -1,0 +1,100 @@
+"""Tests for repro.roadnet.generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.roadnet.generators import (
+    GridCityConfig,
+    _reachable_from,
+    generate_grid_city,
+    generate_radial_city,
+    random_od_pairs,
+)
+from repro.roadnet.graph import RoadClass
+
+
+class TestGridCityConfig:
+    def test_rejects_too_small(self):
+        with pytest.raises(ConfigurationError):
+            GridCityConfig(rows=1, cols=5)
+
+    def test_rejects_bad_drop_probability(self):
+        with pytest.raises(ConfigurationError):
+            GridCityConfig(drop_edge_probability=0.9)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            GridCityConfig(jitter_m=-1)
+
+
+class TestGridCity:
+    def test_node_count(self):
+        network = generate_grid_city(GridCityConfig(rows=6, cols=7, seed=1))
+        assert network.node_count == 42
+
+    def test_deterministic_for_seed(self):
+        a = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=9))
+        b = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=9))
+        assert a.describe() == b.describe()
+        assert sorted(e.key for e in a.edges()) == sorted(e.key for e in b.edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_grid_city(GridCityConfig(rows=6, cols=6, seed=1, drop_edge_probability=0.1))
+        b = generate_grid_city(GridCityConfig(rows=6, cols=6, seed=2, drop_edge_probability=0.1))
+        assert sorted(e.key for e in a.edges()) != sorted(e.key for e in b.edges())
+
+    def test_strongly_connected(self):
+        network = generate_grid_city(GridCityConfig(rows=8, cols=8, seed=4, drop_edge_probability=0.2))
+        root = network.node_ids()[0]
+        assert _reachable_from(network, root) == set(network.node_ids())
+
+    def test_has_multiple_road_classes(self):
+        network = generate_grid_city(GridCityConfig(rows=10, cols=10, seed=2))
+        classes = {edge.road_class for edge in network.edges()}
+        assert RoadClass.ARTERIAL in classes
+        assert RoadClass.LOCAL in classes
+        assert RoadClass.HIGHWAY in classes
+
+    def test_edges_are_bidirectional(self):
+        network = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=3, drop_edge_probability=0.0))
+        for edge in list(network.edges()):
+            assert network.has_edge(edge.target, edge.source)
+
+
+class TestRadialCity:
+    def test_node_count(self):
+        network = generate_radial_city(rings=3, spokes=8)
+        assert network.node_count == 1 + 3 * 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_radial_city(rings=0)
+        with pytest.raises(ConfigurationError):
+            generate_radial_city(spokes=2)
+        with pytest.raises(ConfigurationError):
+            generate_radial_city(ring_spacing_m=0)
+
+    def test_center_connects_to_first_ring(self):
+        network = generate_radial_city(rings=2, spokes=6)
+        assert len(network.neighbors(0)) == 6
+
+    def test_strongly_connected(self):
+        network = generate_radial_city(rings=4, spokes=10)
+        assert _reachable_from(network, 0) == set(network.node_ids())
+
+
+class TestRandomOdPairs:
+    def test_respects_min_distance(self, small_network):
+        pairs = random_od_pairs(small_network, 10, min_distance_m=800.0, seed=5)
+        for origin, destination in pairs:
+            distance = small_network.node_location(origin).distance_to(
+                small_network.node_location(destination)
+            )
+            assert distance >= 800.0
+
+    def test_count(self, small_network):
+        assert len(random_od_pairs(small_network, 7, min_distance_m=400.0)) == 7
+
+    def test_negative_count_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            random_od_pairs(small_network, -1)

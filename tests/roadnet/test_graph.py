@@ -1,0 +1,119 @@
+"""Tests for repro.roadnet.graph."""
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.roadnet.graph import RoadClass, RoadEdge, RoadNetwork, RoadNode
+from repro.spatial import Point
+
+
+@pytest.fixture()
+def network():
+    net = RoadNetwork(index_cell_size=100.0)
+    net.add_node(RoadNode(1, Point(0, 0)))
+    net.add_node(RoadNode(2, Point(100, 0), has_traffic_light=True))
+    net.add_node(RoadNode(3, Point(200, 0)))
+    net.add_edge(RoadEdge(1, 2, 100.0, RoadClass.ARTERIAL), bidirectional=True)
+    net.add_edge(RoadEdge(2, 3, 100.0, RoadClass.LOCAL))
+    return net
+
+
+class TestNodes:
+    def test_node_lookup(self, network):
+        assert network.node(1).location == Point(0, 0)
+        assert network.has_node(2)
+        assert not network.has_node(99)
+
+    def test_unknown_node_raises(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.node(99)
+
+    def test_node_count_and_ids(self, network):
+        assert network.node_count == 3
+        assert sorted(network.node_ids()) == [1, 2, 3]
+
+    def test_nearest_node(self, network):
+        assert network.nearest_node(Point(95, 5)) == 2
+
+    def test_nodes_within(self, network):
+        found = [node for node, _ in network.nodes_within(Point(0, 0), 150)]
+        assert set(found) == {1, 2}
+
+
+class TestEdges:
+    def test_edge_lookup_and_direction(self, network):
+        assert network.has_edge(1, 2)
+        assert network.has_edge(2, 1)  # bidirectional
+        assert network.has_edge(2, 3)
+        assert not network.has_edge(3, 2)  # one way
+
+    def test_unknown_edge_raises(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.edge(3, 1)
+
+    def test_edge_to_missing_node_raises(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.add_edge(RoadEdge(1, 99, 10.0))
+
+    def test_self_loop_rejected(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.add_edge(RoadEdge(1, 1, 10.0))
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadEdge(1, 2, 0.0)
+
+    def test_neighbors_and_predecessors(self, network):
+        assert set(network.neighbors(2)) == {1, 3}
+        assert network.predecessors(3) == [2]
+
+    def test_out_edges(self, network):
+        assert {edge.target for edge in network.out_edges(2)} == {1, 3}
+
+    def test_free_flow_speed_uses_class_default(self):
+        edge = RoadEdge(1, 2, 1000.0, RoadClass.HIGHWAY)
+        assert edge.free_flow_speed_kmh == RoadClass.HIGHWAY.default_speed_kmh
+        assert edge.free_flow_travel_time_s == pytest.approx(36.0)
+
+    def test_explicit_speed_limit_wins(self):
+        edge = RoadEdge(1, 2, 1000.0, RoadClass.HIGHWAY, speed_limit_kmh=50.0)
+        assert edge.free_flow_speed_kmh == 50.0
+
+
+class TestPaths:
+    def test_validate_path_accepts_connected(self, network):
+        network.validate_path([1, 2, 3])
+
+    def test_validate_path_rejects_short(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.validate_path([1])
+
+    def test_validate_path_rejects_disconnected(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.validate_path([1, 3])
+
+    def test_validate_path_rejects_unknown_node(self, network):
+        with pytest.raises(RoadNetworkError):
+            network.validate_path([1, 99])
+
+    def test_path_length(self, network):
+        assert network.path_length([1, 2, 3]) == pytest.approx(200.0)
+
+    def test_path_traffic_lights(self, network):
+        assert network.path_traffic_lights([1, 2, 3]) == 1
+
+    def test_path_points(self, network):
+        assert network.path_points([1, 2]) == [Point(0, 0), Point(100, 0)]
+
+    def test_bounding_box(self, network):
+        box = network.bounding_box()
+        assert box.max_x == 200
+
+    def test_empty_network_bounding_box_raises(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork().bounding_box()
+
+    def test_describe(self, network):
+        summary = network.describe()
+        assert summary["nodes"] == 3
+        assert summary["edges"] == 3

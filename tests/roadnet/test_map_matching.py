@@ -1,0 +1,61 @@
+"""Tests for repro.roadnet.map_matching."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.roadnet.map_matching import MapMatcher
+from repro.spatial import Point
+
+
+class TestMapMatcher:
+    def test_invalid_snap_distance(self, small_network):
+        with pytest.raises(TrajectoryError):
+            MapMatcher(small_network, max_snap_distance_m=0)
+
+    def test_snap_point(self, tiny_network):
+        matcher = MapMatcher(tiny_network, max_snap_distance_m=50)
+        assert matcher.snap_point(Point(5, 5)) == 0
+        assert matcher.snap_point(Point(5000, 5000)) is None
+
+    def test_match_follows_path(self, tiny_network):
+        matcher = MapMatcher(tiny_network)
+        points = [Point(2, 1), Point(95, 3), Point(99, 95)]
+        assert matcher.match(points) == [0, 1, 3]
+
+    def test_match_fills_gaps_with_shortest_path(self, tiny_network):
+        matcher = MapMatcher(tiny_network)
+        # Only origin and destination points: the matcher must bridge them.
+        path = matcher.match([Point(0, 0), Point(100, 100)])
+        assert path[0] == 0 and path[-1] == 3
+        tiny_network.validate_path(path)
+
+    def test_match_collapses_duplicates(self, tiny_network):
+        matcher = MapMatcher(tiny_network)
+        path = matcher.match([Point(0, 0), Point(1, 1), Point(2, 0), Point(100, 5), Point(99, 97)])
+        assert path == [0, 1, 3]
+
+    def test_match_requires_two_points(self, tiny_network):
+        with pytest.raises(TrajectoryError):
+            MapMatcher(tiny_network).match([Point(0, 0)])
+
+    def test_match_off_network_raises(self, tiny_network):
+        matcher = MapMatcher(tiny_network, max_snap_distance_m=50)
+        with pytest.raises(TrajectoryError):
+            matcher.match([Point(9000, 9000), Point(9100, 9100)])
+
+    def test_match_produces_valid_path_on_grid(self, small_network):
+        matcher = MapMatcher(small_network)
+        start = small_network.node_location(0)
+        end = small_network.node_location(small_network.node_count - 1)
+        mid = start.midpoint(end)
+        path = matcher.match([start, mid, end])
+        small_network.validate_path(path)
+        assert path[0] == 0
+        assert path[-1] == small_network.node_count - 1
+
+    def test_removes_backtracking(self, tiny_network):
+        matcher = MapMatcher(tiny_network)
+        # Noise snaps to 1 then back near 0 then onwards: a-b-a artefacts are removed.
+        path = matcher.match([Point(0, 0), Point(95, 0), Point(10, 2), Point(95, 0), Point(99, 95)])
+        for first, second, third in zip(path, path[1:], path[2:]):
+            assert not (first == third)

@@ -1,0 +1,74 @@
+"""Tests for repro.routing.base."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.base import CandidateRoute, RouteQuery, RouteSource
+
+
+class TestRouteQuery:
+    def test_reversed(self):
+        query = RouteQuery(origin=1, destination=2, departure_time_s=100.0)
+        back = query.reversed()
+        assert back.origin == 2 and back.destination == 1
+        assert back.departure_time_s == 100.0
+
+
+class TestCandidateRoute:
+    def test_requires_two_nodes(self):
+        with pytest.raises(RoutingError):
+            CandidateRoute(path=[1], source="x")
+
+    def test_origin_destination_and_edges(self):
+        route = CandidateRoute(path=[1, 2, 3], source="shortest")
+        assert route.origin == 1
+        assert route.destination == 3
+        assert route.edge_set() == {(1, 2), (2, 3)}
+
+    def test_metadata_copied(self):
+        metadata = {"length_m": 10.0}
+        route = CandidateRoute(path=[1, 2], source="x", metadata=metadata)
+        metadata["length_m"] = 99.0
+        assert route.metadata["length_m"] == 10.0
+
+    def test_similarity_identical(self):
+        a = CandidateRoute(path=[1, 2, 3], source="a")
+        b = CandidateRoute(path=[1, 2, 3], source="b")
+        assert a.similarity_to(b) == 1.0
+
+    def test_similarity_disjoint(self):
+        a = CandidateRoute(path=[1, 2], source="a")
+        b = CandidateRoute(path=[3, 4], source="b")
+        assert a.similarity_to(b) == 0.0
+
+    def test_similarity_partial_and_symmetric(self):
+        a = CandidateRoute(path=[1, 2, 3], source="a")
+        b = CandidateRoute(path=[1, 2, 4], source="b")
+        assert 0.0 < a.similarity_to(b) < 1.0
+        assert a.similarity_to(b) == pytest.approx(b.similarity_to(a))
+
+    def test_length_and_points(self, tiny_network):
+        route = CandidateRoute(path=[0, 1, 3], source="a")
+        assert route.length_m(tiny_network) == pytest.approx(200.0)
+        assert len(route.points(tiny_network)) == 3
+
+
+class TestRouteSource:
+    def test_recommend_or_none_swallows_routing_errors(self):
+        class Failing(RouteSource):
+            name = "failing"
+
+            def recommend(self, query):
+                raise RoutingError("nope")
+
+        assert Failing().recommend_or_none(RouteQuery(1, 2)) is None
+
+    def test_recommend_or_none_passes_through_success(self):
+        class Fixed(RouteSource):
+            name = "fixed"
+
+            def recommend(self, query):
+                return CandidateRoute(path=[query.origin, query.destination], source=self.name)
+
+        result = Fixed().recommend_or_none(RouteQuery(1, 2))
+        assert result.source == "fixed"

@@ -1,0 +1,82 @@
+"""Tests for repro.routing.web_service."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.roadnet.shortest_path import dijkstra_path, free_flow_time_cost, length_cost, path_cost
+from repro.routing.base import RouteQuery
+from repro.routing.web_service import (
+    AlternativeAwareService,
+    FastestRouteService,
+    ShortestRouteService,
+)
+
+
+@pytest.fixture(scope="module")
+def od_pair(small_network):
+    nodes = small_network.node_ids()
+    return nodes[0], nodes[-1]
+
+
+class TestShortestRouteService:
+    def test_matches_dijkstra_length(self, small_network, od_pair):
+        origin, destination = od_pair
+        service = ShortestRouteService(small_network)
+        route = service.recommend(RouteQuery(origin, destination))
+        reference = dijkstra_path(small_network, origin, destination, cost=length_cost)
+        assert path_cost(small_network, list(route.path)) == pytest.approx(
+            path_cost(small_network, reference)
+        )
+        assert route.source == "shortest"
+        assert route.metadata["length_m"] > 0
+
+    def test_endpoints_match_query(self, small_network, od_pair):
+        origin, destination = od_pair
+        route = ShortestRouteService(small_network).recommend(RouteQuery(origin, destination))
+        assert route.origin == origin and route.destination == destination
+
+
+class TestFastestRouteService:
+    def test_minimises_time_cost(self, small_network, od_pair):
+        origin, destination = od_pair
+        service = FastestRouteService(small_network)
+        route = service.recommend(RouteQuery(origin, destination, departure_time_s=3 * 3600.0))
+        assert route.source == "fastest"
+        assert route.metadata["travel_time_s"] > 0
+        small_network.validate_path(list(route.path))
+
+    def test_fastest_no_longer_than_shortest_in_time(self, small_network, od_pair):
+        origin, destination = od_pair
+        query = RouteQuery(origin, destination, departure_time_s=8 * 3600.0)
+        fastest = FastestRouteService(small_network).recommend(query)
+        shortest = ShortestRouteService(small_network).recommend(query)
+        model = FastestRouteService(small_network).travel_time_model
+        fast_time = model.path_travel_time(small_network, list(fastest.path), query.departure_time_s)
+        short_time = model.path_travel_time(small_network, list(shortest.path), query.departure_time_s)
+        # Traffic-light penalties are not part of the fastest service's edge
+        # cost, so allow a small slack.
+        assert fast_time <= short_time * 1.2 + 60.0
+
+
+class TestAlternativeAwareService:
+    def test_invalid_parameters(self, small_network):
+        with pytest.raises(RoutingError):
+            AlternativeAwareService(small_network, alternatives=0)
+        with pytest.raises(RoutingError):
+            AlternativeAwareService(small_network, time_weight=2.0)
+
+    def test_recommend_valid_route(self, small_network, od_pair):
+        origin, destination = od_pair
+        service = AlternativeAwareService(small_network, alternatives=3)
+        route = service.recommend(RouteQuery(origin, destination))
+        small_network.validate_path(list(route.path))
+        assert route.source == "web_alternatives"
+
+    def test_pure_length_weight_matches_shortest(self, small_network, od_pair):
+        origin, destination = od_pair
+        service = AlternativeAwareService(small_network, alternatives=3, time_weight=0.0)
+        route = service.recommend(RouteQuery(origin, destination))
+        shortest = ShortestRouteService(small_network).recommend(RouteQuery(origin, destination))
+        assert path_cost(small_network, list(route.path)) == pytest.approx(
+            path_cost(small_network, list(shortest.path))
+        )

@@ -1,0 +1,62 @@
+"""Tests for repro.spatial.bbox."""
+
+import pytest
+
+from repro.exceptions import SpatialError
+from repro.spatial import BoundingBox, Point
+
+
+class TestConstruction:
+    def test_invalid_corners_raise(self):
+        with pytest.raises(SpatialError):
+            BoundingBox(10, 0, 0, 10)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 2), Point(-1, 5), Point(3, 0)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(SpatialError):
+            BoundingBox.from_points([])
+
+    def test_around(self):
+        box = BoundingBox.around(Point(0, 0), 5)
+        assert box.width == 10 and box.height == 10
+
+    def test_around_negative_radius_raises(self):
+        with pytest.raises(SpatialError):
+            BoundingBox.around(Point(0, 0), -1)
+
+
+class TestGeometry:
+    def test_area_and_center(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.area == 8
+        assert box.center == Point(2, 1)
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(1.01, 0.5))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        c = BoundingBox(5, 5, 6, 6)
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_intersects_touching_edges(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(1, 0, 2, 1)
+        assert a.intersects(b)
+
+    def test_expanded(self):
+        assert BoundingBox(0, 0, 1, 1).expanded(1) == BoundingBox(-1, -1, 2, 2)
+
+    def test_union(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert a.union(b) == BoundingBox(0, 0, 3, 3)

@@ -1,0 +1,69 @@
+"""Tests for repro.spatial.distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial import Point, point_to_segment_distance, project_point_on_segment, route_length
+from repro.spatial.distance import discrete_frechet_distance
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestProjection:
+    def test_projection_onto_interior(self):
+        projection, t = project_point_on_segment(Point(5, 5), Point(0, 0), Point(10, 0))
+        assert projection == Point(5, 0)
+        assert t == pytest.approx(0.5)
+
+    def test_projection_clamped_to_start(self):
+        projection, t = project_point_on_segment(Point(-5, 3), Point(0, 0), Point(10, 0))
+        assert projection == Point(0, 0)
+        assert t == 0.0
+
+    def test_projection_clamped_to_end(self):
+        projection, t = project_point_on_segment(Point(15, 3), Point(0, 0), Point(10, 0))
+        assert projection == Point(10, 0)
+        assert t == 1.0
+
+    def test_degenerate_segment(self):
+        projection, t = project_point_on_segment(Point(3, 4), Point(1, 1), Point(1, 1))
+        assert projection == Point(1, 1)
+        assert t == 0.0
+
+    def test_distance_perpendicular(self):
+        assert point_to_segment_distance(Point(5, 7), Point(0, 0), Point(10, 0)) == pytest.approx(7.0)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_distance_never_exceeds_endpoint_distances(self, px, py, ax, ay, bx, by):
+        point, start, end = Point(px, py), Point(ax, ay), Point(bx, by)
+        distance = point_to_segment_distance(point, start, end)
+        assert distance <= point.distance_to(start) + 1e-6
+        assert distance <= point.distance_to(end) + 1e-6
+
+
+class TestRouteLength:
+    def test_route_length_simple(self):
+        assert route_length([Point(0, 0), Point(3, 4), Point(3, 10)]) == pytest.approx(11.0)
+
+    def test_route_length_single_point_is_zero(self):
+        assert route_length([Point(1, 1)]) == 0.0
+
+
+class TestFrechet:
+    def test_identical_polylines_zero(self):
+        line = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        assert discrete_frechet_distance(line, line) == pytest.approx(0.0)
+
+    def test_parallel_offset_lines(self):
+        a = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        b = [Point(0, 3), Point(1, 3), Point(2, 3)]
+        assert discrete_frechet_distance(a, b) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            discrete_frechet_distance([], [Point(0, 0)])
+
+    def test_symmetric(self):
+        a = [Point(0, 0), Point(5, 1)]
+        b = [Point(1, 1), Point(4, 4), Point(9, 2)]
+        assert discrete_frechet_distance(a, b) == pytest.approx(discrete_frechet_distance(b, a))

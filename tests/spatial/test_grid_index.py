@@ -1,0 +1,114 @@
+"""Tests for repro.spatial.grid_index, including a property-based check
+against a brute-force linear scan."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SpatialError
+from repro.spatial import GridIndex, Point
+
+coord = st.floats(min_value=-5_000, max_value=5_000, allow_nan=False)
+point_list = st.lists(st.tuples(coord, coord), min_size=1, max_size=40, unique=True)
+
+
+class TestBasicOperations:
+    def test_invalid_cell_size(self):
+        with pytest.raises(SpatialError):
+            GridIndex(cell_size=0)
+
+    def test_insert_and_contains(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(0, 0))
+        assert "a" in index
+        assert len(index) == 1
+        assert index.location_of("a") == Point(0, 0)
+
+    def test_reinsert_moves_item(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(0, 0))
+        index.insert("a", Point(500, 500))
+        assert len(index) == 1
+        assert index.location_of("a") == Point(500, 500)
+
+    def test_remove(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(0, 0))
+        index.remove("a")
+        assert "a" not in index
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+    def test_insert_many_and_items(self):
+        index = GridIndex(cell_size=100)
+        index.insert_many([("a", Point(0, 0)), ("b", Point(10, 10))])
+        assert sorted(index.items()) == ["a", "b"]
+
+
+class TestQueries:
+    def test_within_radius_sorted_by_distance(self):
+        index = GridIndex(cell_size=50)
+        index.insert("near", Point(10, 0))
+        index.insert("far", Point(90, 0))
+        index.insert("outside", Point(500, 0))
+        results = index.within_radius(Point(0, 0), 100)
+        assert [item for item, _ in results] == ["near", "far"]
+
+    def test_within_radius_negative_raises(self):
+        with pytest.raises(SpatialError):
+            GridIndex().within_radius(Point(0, 0), -1)
+
+    def test_nearest_empty_index(self):
+        assert GridIndex().nearest(Point(0, 0)) is None
+
+    def test_nearest_respects_max_radius(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(1000, 0))
+        assert index.nearest(Point(0, 0), max_radius=500) is None
+        assert index.nearest(Point(0, 0), max_radius=2000)[0] == "a"
+
+    def test_nearest_far_query_point(self):
+        index = GridIndex(cell_size=10)
+        index.insert("a", Point(0, 0))
+        item, distance = index.nearest(Point(10_000, 10_000))
+        assert item == "a"
+        assert distance == pytest.approx(Point(10_000, 10_000).distance_to(Point(0, 0)))
+
+    def test_k_nearest_returns_k_items(self):
+        index = GridIndex(cell_size=100)
+        for i in range(10):
+            index.insert(i, Point(i * 50, 0))
+        result = index.k_nearest(Point(0, 0), 3)
+        assert [item for item, _ in result] == [0, 1, 2]
+
+    def test_k_nearest_k_larger_than_population(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(0, 0))
+        assert len(index.k_nearest(Point(0, 0), 5)) == 1
+
+    def test_k_nearest_zero(self):
+        assert GridIndex().k_nearest(Point(0, 0), 0) == []
+
+
+class TestAgainstLinearScan:
+    @given(point_list, coord, coord)
+    @settings(max_examples=50, deadline=None)
+    def test_nearest_matches_linear_scan(self, raw_points, qx, qy):
+        index = GridIndex(cell_size=137.0)
+        points = {f"p{i}": Point(x, y) for i, (x, y) in enumerate(raw_points)}
+        index.insert_many(points.items())
+        query = Point(qx, qy)
+        expected_distance = min(query.distance_to(p) for p in points.values())
+        item, distance = index.nearest(query)
+        assert distance == pytest.approx(expected_distance)
+        assert query.distance_to(points[item]) == pytest.approx(expected_distance)
+
+    @given(point_list, coord, coord, st.floats(min_value=0, max_value=2_000))
+    @settings(max_examples=50, deadline=None)
+    def test_within_radius_matches_linear_scan(self, raw_points, qx, qy, radius):
+        index = GridIndex(cell_size=211.0)
+        points = {f"p{i}": Point(x, y) for i, (x, y) in enumerate(raw_points)}
+        index.insert_many(points.items())
+        query = Point(qx, qy)
+        expected = {name for name, p in points.items() if query.distance_to(p) <= radius}
+        got = {item for item, _ in index.within_radius(query, radius)}
+        assert got == expected

@@ -1,0 +1,66 @@
+"""Tests for repro.spatial.point."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.point import Point, centroid, euclidean_distance, haversine_distance
+
+finite_coord = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_to_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(5, -3)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_as_tuple_and_iter(self):
+        point = Point(1.5, 2.5)
+        assert point.as_tuple() == (1.5, 2.5)
+        assert tuple(point) == (1.5, 2.5)
+
+    def test_points_are_hashable_and_orderable(self):
+        points = {Point(0, 0), Point(0, 0), Point(1, 1)}
+        assert len(points) == 2
+        assert sorted([Point(1, 0), Point(0, 5)])[0] == Point(0, 5)
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    def test_triangle_inequality_through_origin(self, x1, y1, x2, y2):
+        a, b, origin = Point(x1, y1), Point(x2, y2), Point(0, 0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-6
+
+
+class TestDistances:
+    def test_euclidean_matches_method(self):
+        assert euclidean_distance(Point(0, 0), Point(1, 1)) == pytest.approx(math.sqrt(2))
+
+    def test_haversine_zero_for_same_point(self):
+        assert haversine_distance(40.0, 116.0, 40.0, 116.0) == pytest.approx(0.0)
+
+    def test_haversine_one_degree_latitude(self):
+        # One degree of latitude is roughly 111 km.
+        distance = haversine_distance(0.0, 0.0, 1.0, 0.0)
+        assert 110_000 < distance < 112_500
+
+    def test_haversine_symmetric(self):
+        assert haversine_distance(10, 20, 30, 40) == pytest.approx(haversine_distance(30, 40, 10, 20))
+
+
+class TestCentroid:
+    def test_centroid_of_square(self):
+        points = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(points) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

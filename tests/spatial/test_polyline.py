@@ -1,0 +1,58 @@
+"""Tests for repro.spatial.polyline."""
+
+import pytest
+
+from repro.exceptions import SpatialError
+from repro.spatial import Point, Polyline
+
+
+class TestPolyline:
+    def test_requires_two_points(self):
+        with pytest.raises(SpatialError):
+            Polyline([Point(0, 0)])
+
+    def test_length(self):
+        line = Polyline([Point(0, 0), Point(3, 4), Point(3, 14)])
+        assert line.length == pytest.approx(15.0)
+
+    def test_start_end_len_iter(self):
+        line = Polyline([Point(0, 0), Point(1, 0)])
+        assert line.start == Point(0, 0)
+        assert line.end == Point(1, 0)
+        assert len(line) == 2
+        assert list(line) == [Point(0, 0), Point(1, 0)]
+
+    def test_reversed(self):
+        line = Polyline([Point(0, 0), Point(1, 0), Point(2, 0)])
+        assert line.reversed().start == Point(2, 0)
+
+    def test_bounding_box(self):
+        line = Polyline([Point(0, 0), Point(2, 5)])
+        box = line.bounding_box()
+        assert box.max_y == 5
+
+    def test_point_at_fraction_midpoint(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.point_at_fraction(0.5) == Point(5, 0)
+
+    def test_point_at_fraction_clamps(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.point_at_fraction(-1) == Point(0, 0)
+        assert line.point_at_fraction(2) == Point(10, 0)
+
+    def test_resample_spacing(self):
+        line = Polyline([Point(0, 0), Point(100, 0)])
+        samples = line.resample(10)
+        assert samples[0] == Point(0, 0)
+        assert samples[-1] == Point(100, 0)
+        assert len(samples) == 11
+
+    def test_resample_preserves_endpoints_on_bends(self):
+        line = Polyline([Point(0, 0), Point(50, 0), Point(50, 50)])
+        samples = line.resample(7)
+        assert samples[0] == line.start
+        assert samples[-1] == line.end
+
+    def test_resample_invalid_spacing(self):
+        with pytest.raises(SpatialError):
+            Polyline([Point(0, 0), Point(1, 0)]).resample(0)

@@ -1,0 +1,53 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, PlannerConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestPlannerConfigValidation:
+    def test_default_config_is_valid(self):
+        DEFAULT_CONFIG.validate()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("confidence_threshold", 0.0),
+            ("confidence_threshold", 1.5),
+            ("agreement_threshold", -0.1),
+            ("truth_reuse_radius_m", 0.0),
+            ("truth_time_slot_minutes", 0),
+            ("worker_quota", 0),
+            ("response_time_threshold", 0.0),
+            ("knowledge_radius_m", -1.0),
+            ("familiarity_alpha", 1.5),
+            ("familiarity_beta", 1.0),
+            ("workers_per_task", 0),
+            ("early_stop_confidence", 0.0),
+            ("pmf_latent_dim", 0),
+            ("reward_per_question", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            PlannerConfig(**{field: value})
+
+    def test_with_overrides_returns_new_validated_config(self):
+        config = PlannerConfig().with_overrides(workers_per_task=9)
+        assert config.workers_per_task == 9
+        assert DEFAULT_CONFIG.workers_per_task != 9
+
+    def test_with_overrides_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PlannerConfig().with_overrides(worker_quota=-1)
+
+    def test_to_dict_round_trip(self):
+        config = PlannerConfig(workers_per_task=4)
+        data = config.to_dict()
+        assert data["workers_per_task"] == 4
+        assert PlannerConfig(**data) == config
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.workers_per_task = 3

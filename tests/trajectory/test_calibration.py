@@ -1,0 +1,100 @@
+"""Tests for repro.trajectory.calibration (anchor-based calibration)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import CalibrationError
+from repro.landmarks.model import Landmark, LandmarkKind
+from repro.roadnet.shortest_path import dijkstra_path
+from repro.spatial import Point
+from repro.trajectory.calibration import AnchorCalibrator
+
+
+def landmark_at(landmark_id, x, y, extent=0.0):
+    return Landmark(
+        landmark_id=landmark_id,
+        name=f"lm-{landmark_id}",
+        kind=LandmarkKind.POINT if extent == 0 else LandmarkKind.REGION,
+        anchor=Point(x, y),
+        extent_m=extent,
+    )
+
+
+class TestCalibratorBasics:
+    def test_invalid_radius(self, tiny_network):
+        with pytest.raises(CalibrationError):
+            AnchorCalibrator(tiny_network, [], attach_radius_m=0)
+
+    def test_unknown_landmark_raises(self, tiny_network):
+        calibrator = AnchorCalibrator(tiny_network, [landmark_at(1, 0, 0)])
+        with pytest.raises(CalibrationError):
+            calibrator.landmark(99)
+
+    def test_too_short_path_raises(self, tiny_network):
+        calibrator = AnchorCalibrator(tiny_network, [landmark_at(1, 0, 0)])
+        with pytest.raises(CalibrationError):
+            calibrator.calibrate_path([0])
+
+    def test_landmark_count(self, tiny_network):
+        calibrator = AnchorCalibrator(tiny_network, [landmark_at(1, 0, 0), landmark_at(2, 1, 1)])
+        assert calibrator.landmark_count == 2
+
+
+class TestCalibration:
+    def test_on_route_landmark_attached_in_order(self, tiny_network):
+        landmarks = [
+            landmark_at(10, 0, 0),        # at node 0
+            landmark_at(11, 100, 50),     # along edge 1->3
+            landmark_at(12, 100, 100),    # at node 3
+            landmark_at(13, 0, 100),      # at node 2, off the 0-1-3 route but within 150m default radius
+        ]
+        calibrator = AnchorCalibrator(tiny_network, landmarks, attach_radius_m=60.0)
+        sequence = calibrator.calibrate_path([0, 1, 3])
+        assert sequence == [10, 11, 12]
+
+    def test_far_landmark_not_attached(self, tiny_network):
+        calibrator = AnchorCalibrator(tiny_network, [landmark_at(1, 5000, 5000)], attach_radius_m=100.0)
+        assert calibrator.calibrate_path([0, 1, 3]) == []
+
+    def test_region_landmark_uses_extent(self, tiny_network):
+        region = landmark_at(7, 400, 0, extent=320.0)
+        calibrator = AnchorCalibrator(tiny_network, [region], attach_radius_m=50.0)
+        assert calibrator.calibrate_path([0, 1]) == [7]
+
+    def test_each_landmark_appears_once(self, small_network, small_catalog):
+        calibrator = AnchorCalibrator(small_network, small_catalog.all())
+        path = dijkstra_path(small_network, 0, small_network.node_count - 1)
+        sequence = calibrator.calibrate_path(path)
+        assert len(sequence) == len(set(sequence))
+
+    def test_calibrate_points_matches_path_version(self, tiny_network):
+        landmarks = [landmark_at(1, 0, 0), landmark_at(2, 100, 100)]
+        calibrator = AnchorCalibrator(tiny_network, landmarks, attach_radius_m=60.0)
+        path_sequence = calibrator.calibrate_path([0, 1, 3])
+        point_sequence = calibrator.calibrate_points(tiny_network.path_points([0, 1, 3]))
+        assert path_sequence == point_sequence
+
+    def test_calibrate_points_too_short_raises(self, tiny_network):
+        calibrator = AnchorCalibrator(tiny_network, [landmark_at(1, 0, 0)])
+        with pytest.raises(CalibrationError):
+            calibrator.calibrate_points([Point(0, 0)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    def test_reverse_path_gives_reversed_set(self, small_network, small_catalog, origin, destination):
+        if origin == destination:
+            return
+        calibrator = AnchorCalibrator(small_network, small_catalog.all())
+        try:
+            forward = dijkstra_path(small_network, origin, destination)
+        except Exception:
+            return
+        backward = list(reversed(forward))
+        try:
+            small_network.validate_path(backward)
+        except Exception:
+            return
+        forward_set = set(calibrator.calibrate_path(forward))
+        backward_set = set(calibrator.calibrate_path(backward))
+        # The same geometry passes the same landmarks regardless of direction.
+        assert forward_set == backward_set

@@ -1,0 +1,123 @@
+"""Tests for repro.trajectory.generator."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.roadnet.shortest_path import dijkstra_path, path_cost
+from repro.trajectory.generator import DriverProfile, TrajectoryGenerator, TrajectoryGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def generator(small_network):
+    config = TrajectoryGeneratorConfig(
+        num_drivers=6, num_hot_pairs=5, trips_per_driver=4, min_od_distance_m=600.0, seed=21
+    )
+    return TrajectoryGenerator(small_network, config)
+
+
+class TestConfigValidation:
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryGeneratorConfig(num_drivers=0)
+        with pytest.raises(ConfigurationError):
+            TrajectoryGeneratorConfig(route_alternatives=0)
+        with pytest.raises(ConfigurationError):
+            TrajectoryGeneratorConfig(gps_sampling_interval_m=0)
+        with pytest.raises(ConfigurationError):
+            TrajectoryGeneratorConfig(zipf_exponent=0)
+
+    def test_driver_profile_exploration_bounds(self, small_network):
+        from repro.spatial import Point
+
+        with pytest.raises(ConfigurationError):
+            DriverProfile(0, Point(0, 0), Point(1, 1), exploration=1.5)
+
+
+class TestGeneration:
+    def test_generate_drivers_count_and_determinism(self, generator):
+        drivers = generator.generate_drivers()
+        assert len(drivers) == 6
+        again = generator.generate_drivers()
+        assert [d.home for d in drivers] == [d.home for d in again]
+
+    def test_hot_pairs_respect_min_distance(self, generator, small_network):
+        for origin, destination in generator.generate_hot_od_pairs():
+            distance = small_network.node_location(origin).distance_to(
+                small_network.node_location(destination)
+            )
+            assert distance >= 600.0
+
+    def test_generate_produces_valid_trajectories(self, generator, small_network):
+        trajectories = generator.generate()
+        assert trajectories
+        for trajectory in trajectories[:10]:
+            small_network.validate_path(list(trajectory.source_path))
+            assert len(trajectory) >= 2
+            assert trajectory.duration_s > 0
+
+    def test_generate_is_deterministic(self, small_network):
+        config = TrajectoryGeneratorConfig(num_drivers=3, num_hot_pairs=3, trips_per_driver=2, seed=5)
+        a = TrajectoryGenerator(small_network, config).generate()
+        b = TrajectoryGenerator(small_network, config).generate()
+        assert [t.source_path for t in a] == [t.source_path for t in b]
+
+    def test_trip_count_upper_bound(self, generator):
+        trajectories = generator.generate()
+        assert len(trajectories) <= 6 * 4
+
+
+class TestPreferenceModel:
+    def test_population_route_connects_endpoints(self, generator, small_network):
+        origin, destination = generator.generate_hot_od_pairs()[0]
+        path = generator.population_preferred_route(origin, destination)
+        small_network.validate_path(path)
+        assert path[0] == origin and path[-1] == destination
+
+    def test_population_route_is_memoised(self, generator):
+        origin, destination = generator.generate_hot_od_pairs()[0]
+        first = generator.population_preferred_route(origin, destination)
+        second = generator.population_preferred_route(origin, destination)
+        assert first == second
+        assert first is not second  # defensive copy
+
+    def test_preference_cost_penalises_traffic_lights(self, generator, small_network):
+        lit_edges = [
+            edge for edge in small_network.edges() if small_network.node(edge.target).has_traffic_light
+        ]
+        dark_edges = [
+            edge
+            for edge in small_network.edges()
+            if not small_network.node(edge.target).has_traffic_light
+            and abs(edge.length_m - lit_edges[0].length_m) < 30
+            and edge.road_class is lit_edges[0].road_class
+        ]
+        if not lit_edges or not dark_edges:
+            pytest.skip("network sample lacks comparable edges")
+        assert generator.preference_cost(lit_edges[0]) > generator.preference_cost(dark_edges[0])
+
+    def test_driver_route_usually_differs_from_shortest_somewhere(self, generator, small_network):
+        drivers = generator.generate_drivers()
+        pairs = generator.generate_hot_od_pairs()
+        rng = random.Random(3)
+        differences = 0
+        comparisons = 0
+        for origin, destination in pairs:
+            shortest = dijkstra_path(small_network, origin, destination)
+            for driver in drivers[:3]:
+                route = generator.driver_route(driver, origin, destination, rng)
+                comparisons += 1
+                if route != shortest:
+                    differences += 1
+        # Driver preferences must create divergence from the pure shortest
+        # path for a meaningful share of trips — the premise of the paper.
+        assert differences / comparisons > 0.2
+
+    def test_path_to_trajectory_timestamps_increase(self, generator, small_network):
+        origin, destination = generator.generate_hot_od_pairs()[0]
+        path = generator.population_preferred_route(origin, destination)
+        trajectory = generator.path_to_trajectory(path, 99, 1, 8 * 3600.0, random.Random(2))
+        times = [p.timestamp for p in trajectory.points]
+        assert times == sorted(times)
+        assert trajectory.departure_time_s == 8 * 3600.0

@@ -1,0 +1,54 @@
+"""Tests for repro.trajectory.model."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.spatial import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+def make_trajectory(points, **kwargs):
+    gps = [GPSPoint(Point(x, y), t) for (x, y, t) in points]
+    return Trajectory(trajectory_id=kwargs.pop("trajectory_id", 1), driver_id=kwargs.pop("driver_id", 2), points=gps, **kwargs)
+
+
+class TestTrajectory:
+    def test_requires_two_points(self):
+        with pytest.raises(TrajectoryError):
+            make_trajectory([(0, 0, 0)])
+
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(TrajectoryError):
+            make_trajectory([(0, 0, 10), (1, 1, 5)])
+
+    def test_duration_and_length(self):
+        trajectory = make_trajectory([(0, 0, 0), (3, 4, 10), (3, 4, 20)])
+        assert trajectory.duration_s == 20
+        assert trajectory.length_m == pytest.approx(5.0)
+
+    def test_average_speed(self):
+        trajectory = make_trajectory([(0, 0, 0), (100, 0, 10)])
+        assert trajectory.average_speed_ms() == pytest.approx(10.0)
+
+    def test_average_speed_zero_duration(self):
+        trajectory = make_trajectory([(0, 0, 5), (10, 0, 5)])
+        assert trajectory.average_speed_ms() == 0.0
+
+    def test_start_end_and_len(self):
+        trajectory = make_trajectory([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        assert trajectory.start.location == Point(0, 0)
+        assert trajectory.end.location == Point(2, 0)
+        assert len(trajectory) == 3
+
+    def test_locations_and_bounding_box(self):
+        trajectory = make_trajectory([(0, 0, 0), (5, 7, 1)])
+        assert trajectory.locations() == [Point(0, 0), Point(5, 7)]
+        assert trajectory.bounding_box().max_y == 7
+
+    def test_source_path_stored_as_tuple(self):
+        trajectory = make_trajectory([(0, 0, 0), (1, 0, 1)], source_path=[4, 5, 6])
+        assert trajectory.source_path == (4, 5, 6)
+
+    def test_gps_point_accessors(self):
+        point = GPSPoint(Point(3, 4), 12.0)
+        assert point.x == 3 and point.y == 4 and point.timestamp == 12.0

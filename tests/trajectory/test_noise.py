@@ -1,0 +1,52 @@
+"""Tests for repro.trajectory.noise."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.spatial import Point
+from repro.trajectory.noise import GPSNoiseModel
+
+
+class TestGPSNoiseModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GPSNoiseModel(position_sigma_m=-1)
+        with pytest.raises(ConfigurationError):
+            GPSNoiseModel(drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            GPSNoiseModel(outlier_probability=-0.1)
+
+    def test_endpoints_never_dropped(self):
+        model = GPSNoiseModel(drop_probability=0.9, position_sigma_m=0.0, outlier_probability=0.0)
+        points = [Point(float(i), 0.0) for i in range(20)]
+        rng = random.Random(3)
+        noisy = model.apply(points, rng)
+        assert noisy[0] == points[0]
+        assert noisy[-1] == points[-1]
+
+    def test_zero_noise_is_identity(self):
+        model = GPSNoiseModel(position_sigma_m=0.0, drop_probability=0.0, outlier_probability=0.0)
+        points = [Point(0, 0), Point(10, 10)]
+        assert model.apply(points, random.Random(1)) == points
+
+    def test_noise_perturbs_points(self):
+        model = GPSNoiseModel(position_sigma_m=5.0, drop_probability=0.0, outlier_probability=0.0)
+        points = [Point(float(i * 10), 0.0) for i in range(10)]
+        noisy = model.apply(points, random.Random(7))
+        assert any(original != perturbed for original, perturbed in zip(points, noisy))
+        # ... but not by absurd amounts (5 sigma bound).
+        for original, perturbed in zip(points, noisy):
+            assert original.distance_to(perturbed) < 5 * 5.0 * 2
+
+    def test_dropping_reduces_count(self):
+        model = GPSNoiseModel(position_sigma_m=0.0, drop_probability=0.5, outlier_probability=0.0)
+        points = [Point(float(i), 0.0) for i in range(100)]
+        noisy = model.apply(points, random.Random(9))
+        assert len(noisy) < len(points)
+
+    def test_deterministic_given_rng_seed(self):
+        model = GPSNoiseModel()
+        points = [Point(float(i), 0.0) for i in range(30)]
+        assert model.apply(points, random.Random(4)) == model.apply(points, random.Random(4))

@@ -1,0 +1,44 @@
+"""Tests for repro.utils.rng."""
+
+from repro.utils.rng import SeedSequence, derive_rng, shuffled, spawn_seeds
+
+
+class TestSeedSequence:
+    def test_same_label_same_seed(self):
+        seeds = SeedSequence(7)
+        assert seeds.seed_for("crowd") == seeds.seed_for("crowd")
+
+    def test_different_labels_different_seeds(self):
+        seeds = SeedSequence(7)
+        assert seeds.seed_for("crowd") != seeds.seed_for("trajectories")
+
+    def test_different_roots_different_seeds(self):
+        assert SeedSequence(1).seed_for("x") != SeedSequence(2).seed_for("x")
+
+    def test_rng_for_reproducible(self):
+        seeds = SeedSequence(7)
+        assert seeds.rng_for("a").random() == seeds.rng_for("a").random()
+
+    def test_numpy_rng_reproducible(self):
+        seeds = SeedSequence(7)
+        a = seeds.numpy_rng_for("np").normal(size=3)
+        b = seeds.numpy_rng_for("np").normal(size=3)
+        assert list(a) == list(b)
+
+
+class TestHelpers:
+    def test_derive_rng_with_label(self):
+        assert derive_rng(3, "x").random() == derive_rng(3, "x").random()
+
+    def test_derive_rng_without_label(self):
+        assert derive_rng(3).random() == derive_rng(3).random()
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(9, 10)
+        assert len(set(seeds)) == 10
+
+    def test_shuffled_does_not_mutate(self):
+        original = [1, 2, 3, 4, 5]
+        result = shuffled(original, derive_rng(1))
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(result) == original

@@ -1,0 +1,129 @@
+"""Tests for repro.utils.stats."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    empirical_entropy,
+    gini,
+    mean,
+    normalize,
+    normalize_to_sum,
+    pairs,
+    percentile,
+    summarize,
+    weighted_choice,
+)
+
+
+class TestEmpiricalEntropy:
+    def test_uniform_two_classes_is_one_bit(self):
+        assert empirical_entropy(["a", "a", "b", "b"]) == pytest.approx(1.0)
+
+    def test_single_class_is_zero(self):
+        assert empirical_entropy(["a", "a", "a"]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert empirical_entropy([]) == 0.0
+
+    def test_n_distinct_items_is_log2_n(self):
+        assert empirical_entropy(range(8)) == pytest.approx(3.0)
+
+    def test_skewed_distribution_below_uniform(self):
+        skewed = empirical_entropy(["a"] * 9 + ["b"])
+        assert 0.0 < skewed < 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=50))
+    def test_entropy_bounded_by_log2_of_distinct_count(self, labels):
+        distinct = len(set(labels))
+        assert 0.0 <= empirical_entropy(labels) <= math.log2(distinct) + 1e-9
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert normalize([]) == []
+
+    def test_constant_maps_to_ones(self):
+        assert normalize([4.0, 4.0]) == [1.0, 1.0]
+
+    def test_range_maps_to_unit_interval(self):
+        values = normalize([0.0, 5.0, 10.0])
+        assert values == [0.0, 0.5, 1.0]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30))
+    def test_output_in_unit_interval(self, values):
+        result = normalize(values)
+        assert all(0.0 <= value <= 1.0 for value in result)
+
+    def test_normalize_to_sum_uniform_when_all_zero(self):
+        assert normalize_to_sum([0.0, 0.0]) == [0.5, 0.5]
+
+    def test_normalize_to_sum_sums_to_one(self):
+        assert sum(normalize_to_sum([1.0, 2.0, 3.0])) == pytest.approx(1.0)
+
+
+class TestPercentileAndMean:
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_mean_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([1.0, 1.0, 1.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_values_near_one(self):
+        assert gini([0.0] * 99 + [100.0]) > 0.9
+
+    def test_empty_is_zero(self):
+        assert gini([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=40))
+    def test_gini_in_unit_interval(self, values):
+        assert -1e-9 <= gini(values) <= 1.0 + 1e-9
+
+
+class TestWeightedChoiceAndPairs:
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = random.Random(1)
+        picks = {weighted_choice(["a", "b"], [0.0, 1.0], rng) for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_weighted_choice_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_choice(["a"], [0.5, 0.5], random.Random(0))
+
+    def test_weighted_choice_empty(self):
+        with pytest.raises(ValueError):
+            weighted_choice([], [], random.Random(0))
+
+    def test_pairs_count(self):
+        assert len(pairs([1, 2, 3, 4])) == 6
+
+    def test_pairs_empty(self):
+        assert pairs([]) == []

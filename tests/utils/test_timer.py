@@ -1,0 +1,25 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+def test_timer_measures_nonnegative_time():
+    with Timer() as timer:
+        sum(range(1000))
+    assert timer.elapsed >= 0.0
+
+
+def test_timer_stop_before_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_timer_elapsed_while_running_increases():
+    timer = Timer()
+    timer.start()
+    first = timer.elapsed
+    sum(range(10000))
+    assert timer.elapsed >= first
+    timer.stop()
