@@ -1,0 +1,153 @@
+"""Hot-path microbenchmarks: compiled routing core vs. reference, spatial
+index queries, and sparse vs. dense PMF training.
+
+These benchmarks seed the repo's performance trajectory: run them through
+``scripts/bench_to_json.py`` to (re)generate ``BENCH_hot_paths.json`` at the
+repo root, which records per-benchmark timings and the compiled-vs-reference
+speedups future perf PRs are judged against.
+
+Every paired benchmark first asserts the fast path returns results identical
+to the reference implementation on the same seeded inputs, so a timing win
+can never hide a behaviour change.  The scenario is the 10×10 seeded grid
+city named in the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pmf import ProbabilisticMatrixFactorization
+from repro.roadnet import reference
+from repro.roadnet import shortest_path as fast
+from repro.roadnet.generators import GridCityConfig, generate_grid_city, random_od_pairs
+from repro.spatial import GridIndex, Point
+
+CITY = GridCityConfig(rows=10, cols=10, block_size_m=220.0, seed=23)
+K_ALTERNATIVES = 5
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_grid_city(CITY)
+
+
+@pytest.fixture(scope="module")
+def od_pairs(city):
+    return random_od_pairs(city, 30, min_distance_m=800.0, seed=5)
+
+
+# ------------------------------------------------------------------ dijkstra
+def _run_dijkstra(module, network, pairs):
+    return [module.dijkstra_path(network, o, d) for o, d in pairs]
+
+
+@pytest.mark.benchmark(group="dijkstra")
+def test_dijkstra_compiled(benchmark, city, od_pairs):
+    paths = benchmark(_run_dijkstra, fast, city, od_pairs)
+    assert paths == _run_dijkstra(reference, city, od_pairs)
+
+
+@pytest.mark.benchmark(group="dijkstra")
+def test_dijkstra_reference(benchmark, city, od_pairs):
+    benchmark(_run_dijkstra, reference, city, od_pairs)
+
+
+# --------------------------------------------------------------------- astar
+def _run_astar(module, network, pairs):
+    return [module.astar_path(network, o, d) for o, d in pairs]
+
+
+@pytest.mark.benchmark(group="astar")
+def test_astar_compiled(benchmark, city, od_pairs):
+    paths = benchmark(_run_astar, fast, city, od_pairs)
+    assert paths == _run_astar(reference, city, od_pairs)
+
+
+@pytest.mark.benchmark(group="astar")
+def test_astar_reference(benchmark, city, od_pairs):
+    benchmark(_run_astar, reference, city, od_pairs)
+
+
+# ----------------------------------------------------------------- k-shortest
+def _run_yen(module, network, pairs):
+    return [
+        module.k_shortest_paths(network, o, d, K_ALTERNATIVES) for o, d in pairs[:10]
+    ]
+
+
+@pytest.mark.benchmark(group="k_shortest")
+def test_k_shortest_compiled(benchmark, city, od_pairs):
+    paths = benchmark(_run_yen, fast, city, od_pairs)
+    assert paths == _run_yen(reference, city, od_pairs)
+
+
+@pytest.mark.benchmark(group="k_shortest")
+def test_k_shortest_reference(benchmark, city, od_pairs):
+    benchmark(_run_yen, reference, city, od_pairs)
+
+
+# ---------------------------------------------------------------- grid index
+@pytest.fixture(scope="module")
+def spatial_setup():
+    rng = random.Random(23)
+    index = GridIndex(cell_size=500.0)
+    points = [
+        (i, Point(rng.uniform(0.0, 20_000.0), rng.uniform(0.0, 20_000.0)))
+        for i in range(4_000)
+    ]
+    index.insert_many(points)
+    queries = [
+        Point(rng.uniform(0.0, 20_000.0), rng.uniform(0.0, 20_000.0))
+        for _ in range(200)
+    ]
+    return index, queries
+
+
+@pytest.mark.benchmark(group="grid_index")
+def test_grid_within_radius(benchmark, spatial_setup):
+    index, queries = spatial_setup
+    result = benchmark(lambda: [index.within_radius(q, 1_500.0) for q in queries])
+    assert any(result)
+
+
+@pytest.mark.benchmark(group="grid_index")
+def test_grid_nearest(benchmark, spatial_setup):
+    index, queries = spatial_setup
+    result = benchmark(lambda: [index.nearest(q) for q in queries])
+    assert all(r is not None for r in result)
+
+
+# ----------------------------------------------------------------------- pmf
+@pytest.fixture(scope="module")
+def pmf_problem():
+    rng = np.random.default_rng(23)
+    latent = 8
+    # Sized like a mid-size deployment (workers × landmarks); at the ~95%
+    # sparsity of the familiarity matrix the dense path pays for the whole
+    # n×m grid per iteration while the sparse path only touches the nnz.
+    true_workers = rng.normal(0.0, 0.5, (latent, 400))
+    true_landmarks = rng.normal(0.0, 0.5, (latent, 600))
+    full = np.clip(true_workers.T @ true_landmarks, 0.0, None)
+    mask = rng.random(full.shape) < 0.05  # ~95% unobserved, like familiarity
+    return np.where(mask, full, 0.0)
+
+
+def _fit_pmf(matrix, method):
+    pmf = ProbabilisticMatrixFactorization(latent_dim=8, max_iterations=120)
+    pmf.fit(matrix, method=method)
+    return pmf.report.final_objective
+
+
+@pytest.mark.benchmark(group="pmf_fit")
+def test_pmf_fit_sparse(benchmark, pmf_problem):
+    objective = benchmark(_fit_pmf, pmf_problem, "sparse")
+    dense_objective = _fit_pmf(pmf_problem, "dense")
+    assert objective == pytest.approx(dense_objective, rel=1e-6)
+
+
+@pytest.mark.benchmark(group="pmf_fit")
+def test_pmf_fit_dense(benchmark, pmf_problem):
+    benchmark(_fit_pmf, pmf_problem, "dense")

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, then the benchmark suites with timing
+# disabled (so benchmark code is exercised for correctness and stays
+# import-clean without paying for timed rounds).
+#
+#   scripts/ci.sh            # tests + un-timed benchmarks
+#   scripts/ci.sh --bench    # additionally regenerate BENCH_hot_paths.json
+#                            # via scripts/bench_to_json.py (timed, slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== benchmarks (timing disabled) =="
+python -m pytest benchmarks/bench_hot_paths.py -q --benchmark-disable
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== hot-path benchmark trajectory =="
+    python scripts/bench_to_json.py
+fi

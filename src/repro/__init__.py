@@ -17,6 +17,28 @@ Quickstart
 >>> result = planner.recommend(query)
 >>> result.method in {"truth_reuse", "agreement", "confident", "crowd", "single_candidate"}
 True
+
+Batches of requests go through :meth:`CrowdPlanner.recommend_batch`, which
+answers queries in order (truths recorded for earlier queries are reusable by
+later ones) and warms the road network's compiled flat-array routing view up
+front:
+
+>>> results = planner.recommend_batch(scenario.sample_queries(3))
+>>> len(results)
+3
+
+Performance
+-----------
+The routing, spatial-index and PMF hot paths run on flat-array fast paths
+(see ``repro.roadnet.compiled``); the original implementations are preserved
+in ``repro.roadnet.reference`` as behavioural oracles.  Benchmark them with::
+
+    python scripts/bench_to_json.py       # writes BENCH_hot_paths.json
+    scripts/ci.sh                         # tier-1 tests + un-timed benchmarks
+
+``BENCH_hot_paths.json`` records the per-group timings and the
+compiled-vs-reference speedups that future performance work is judged
+against.
 """
 
 from .config import DEFAULT_CONFIG, PlannerConfig
@@ -24,7 +46,7 @@ from .exceptions import CrowdPlannerError
 from .core.planner import CrowdPlanner, RecommendationResult
 from .routing.base import CandidateRoute, RouteQuery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CONFIG",

@@ -216,6 +216,20 @@ class CrowdPlanner:
         # Step 4: crowd task.
         return self._crowdsource(query, candidates, outcome)
 
+    def recommend_batch(self, queries: Sequence[RouteQuery]) -> List[RecommendationResult]:
+        """Answer a batch of route-recommendation requests in order.
+
+        Semantically identical to calling :meth:`recommend` per query —
+        including the truth store accumulating between requests, so later
+        queries in the batch can be served by truths recorded for earlier
+        ones.  The road network's compiled flat-array view is warmed up front
+        so the first request does not pay the one-off CSR build, which keeps
+        per-request latency flat across the batch (the shape the experiment
+        harness and a production request loop both want).
+        """
+        self.network.compiled()
+        return [self.recommend(query) for query in queries]
+
     # ----------------------------------------------------------------- crowd
     def _crowdsource(
         self,

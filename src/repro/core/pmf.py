@@ -11,7 +11,13 @@ The implementation minimises
 
     sum_{ij observed} (M_ij - W_iᵀ L_j)² + λ_W ||W||_F² + λ_L ||L||_F²
 
-by full-batch gradient descent with a simple step-size backoff.
+by full-batch gradient descent with a simple step-size backoff.  Because the
+familiarity matrix is ~95% unobserved, training works on the observed entries
+only (COO index arrays): predictions, errors and gradients are computed over
+the ``nnz`` observed cells instead of materialising dense ``n×m``
+intermediates, with scipy's sparse matmul when available (a pure-numpy
+scatter-add fallback otherwise).  The original dense ``np.where``-masked
+updates are kept behind ``method="dense"`` as the verification oracle.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError
+
+try:  # scipy is optional: only its sparse matmul is used, and only for speed.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _scipy_sparse = None
 
 
 @dataclass
@@ -82,11 +93,20 @@ class ProbabilisticMatrixFactorization:
         self.report: Optional[PMFTrainingReport] = None
 
     # -------------------------------------------------------------- training
-    def fit(self, matrix: np.ndarray, mask: Optional[np.ndarray] = None) -> PMFTrainingReport:
+    def fit(
+        self,
+        matrix: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        method: str = "sparse",
+    ) -> PMFTrainingReport:
         """Fit latent factors to the observed entries of ``matrix``.
 
         ``mask`` marks observed entries (non-zero cells by default, matching
-        the paper's indicator ``I_ij``).
+        the paper's indicator ``I_ij``).  ``method`` selects the gradient
+        implementation: ``"sparse"`` (default) computes errors and gradients
+        over the observed COO entries only; ``"dense"`` is the original
+        ``np.where``-masked implementation, kept as a verification oracle —
+        both minimise the same objective and agree within float tolerance.
         """
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
@@ -96,6 +116,8 @@ class ProbabilisticMatrixFactorization:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != matrix.shape:
             raise ConfigurationError("mask shape must match matrix shape")
+        if method not in ("sparse", "dense"):
+            raise ConfigurationError("method must be 'sparse' or 'dense'")
 
         n_workers, n_landmarks = matrix.shape
         rng = np.random.default_rng(self.seed)
@@ -103,29 +125,58 @@ class ProbabilisticMatrixFactorization:
         workers = rng.normal(0.0, scale, size=(self.latent_dim, n_workers))
         landmarks = rng.normal(0.0, scale, size=(self.latent_dim, n_landmarks))
 
+        if method == "sparse":
+            rows, cols = np.nonzero(mask)
+            values = matrix[rows, cols]
+
+            def objective(w: np.ndarray, l: np.ndarray) -> float:
+                errors = values - np.einsum("ij,ij->j", w[:, rows], l[:, cols])
+                return float(
+                    errors @ errors
+                    + self.regularization_workers * (w**2).sum()
+                    + self.regularization_landmarks * (l**2).sum()
+                )
+
+            def gradients(w: np.ndarray, l: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                errors = values - np.einsum("ij,ij->j", w[:, rows], l[:, cols])
+                scattered_w, scattered_l = self._scatter_error_products(
+                    errors, rows, cols, w, l, matrix.shape
+                )
+                gradient_w = -2.0 * scattered_w + 2.0 * self.regularization_workers * w
+                gradient_l = -2.0 * scattered_l + 2.0 * self.regularization_landmarks * l
+                return gradient_w, gradient_l
+
+        else:
+
+            def objective(w: np.ndarray, l: np.ndarray) -> float:
+                return self._objective(matrix, mask, w, l)
+
+            def gradients(w: np.ndarray, l: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                error = np.where(mask, matrix - w.T @ l, 0.0)
+                gradient_w = -2.0 * (l @ error.T) + 2.0 * self.regularization_workers * w
+                gradient_l = -2.0 * (w @ error) + 2.0 * self.regularization_landmarks * l
+                return gradient_w, gradient_l
+
         learning_rate = self.learning_rate
-        previous_objective = self._objective(matrix, mask, workers, landmarks)
+        previous_objective = objective(workers, landmarks)
         iterations_run = 0
         converged = False
         for iteration in range(1, self.max_iterations + 1):
             iterations_run = iteration
-            prediction = workers.T @ landmarks
-            error = np.where(mask, matrix - prediction, 0.0)
-            gradient_workers = -2.0 * (landmarks @ error.T) + 2.0 * self.regularization_workers * workers
-            gradient_landmarks = -2.0 * (workers @ error) + 2.0 * self.regularization_landmarks * landmarks
+            gradient_workers, gradient_landmarks = gradients(workers, landmarks)
 
             candidate_workers = workers - learning_rate * gradient_workers
             candidate_landmarks = landmarks - learning_rate * gradient_landmarks
-            objective = self._objective(matrix, mask, candidate_workers, candidate_landmarks)
-            if objective > previous_objective:
+            candidate_objective = objective(candidate_workers, candidate_landmarks)
+            if candidate_objective > previous_objective:
                 # Overshot: halve the step and retry from the same point.
                 learning_rate *= 0.5
                 if learning_rate < 1e-9:
                     break
                 continue
             workers, landmarks = candidate_workers, candidate_landmarks
-            improvement = previous_objective - objective
-            previous_objective = objective
+            improvement = previous_objective - candidate_objective
+            previous_objective = candidate_objective
             if previous_objective > 0 and improvement / max(previous_objective, 1e-12) < self.tolerance:
                 converged = True
                 break
@@ -138,6 +189,32 @@ class ProbabilisticMatrixFactorization:
             converged=converged,
         )
         return self.report
+
+    @staticmethod
+    def _scatter_error_products(
+        errors: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        workers: np.ndarray,
+        landmarks: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(L·Errᵀ, W·Err)`` with ``Err`` the sparse observed-error matrix.
+
+        Uses scipy's sparse-dense matmul when available; otherwise falls back
+        to an explicit scatter-add over the observed entries, which is still
+        O(nnz·d) rather than O(n·m·d).
+        """
+        if _scipy_sparse is not None:
+            error_matrix = _scipy_sparse.csr_matrix((errors, (rows, cols)), shape=shape)
+            scattered_w = (error_matrix @ landmarks.T).T
+            scattered_l = (error_matrix.T @ workers.T).T
+            return scattered_w, scattered_l
+        scattered_w = np.zeros_like(workers)
+        scattered_l = np.zeros_like(landmarks)
+        np.add.at(scattered_w.T, rows, (landmarks[:, cols] * errors).T)
+        np.add.at(scattered_l.T, cols, (workers[:, rows] * errors).T)
+        return scattered_w, scattered_l
 
     def _objective(
         self,

@@ -1,5 +1,6 @@
 """Road-network substrate: graph model, synthetic city generators, routing and map matching."""
 
+from .compiled import CompiledGraph
 from .graph import RoadClass, RoadEdge, RoadNetwork, RoadNode
 from .generators import GridCityConfig, generate_grid_city, generate_radial_city
 from .shortest_path import astar_path, dijkstra_path, k_shortest_paths, path_cost
@@ -7,6 +8,7 @@ from .travel_time import SpeedProfile, TravelTimeModel
 from .map_matching import MapMatcher
 
 __all__ = [
+    "CompiledGraph",
     "RoadClass",
     "RoadEdge",
     "RoadNetwork",

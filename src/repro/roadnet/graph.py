@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import RoadNetworkError
 from ..spatial import BoundingBox, GridIndex, Point
+from .compiled import CompiledGraph
 
 
 class RoadClass(enum.Enum):
@@ -103,10 +104,29 @@ class RoadNetwork:
         self._adjacency: Dict[int, List[int]] = {}
         self._reverse_adjacency: Dict[int, List[int]] = {}
         self._index: GridIndex[int] = GridIndex(cell_size=index_cell_size)
+        self._version = 0
+        self._compiled: Optional[CompiledGraph] = None
+
+    # --------------------------------------------------------- compiled view
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation (nodes or edges)."""
+        return self._version
+
+    def compiled(self) -> CompiledGraph:
+        """The flat-array (CSR) view of this network, built lazily.
+
+        The compiled view is cached and reused until the network mutates;
+        ``add_node`` / ``add_edge`` invalidate it by bumping ``version``.
+        """
+        if self._compiled is None or self._compiled.version != self._version:
+            self._compiled = CompiledGraph(self)
+        return self._compiled
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: RoadNode) -> None:
         """Add an intersection; adding an existing id replaces it."""
+        self._version += 1
         self._nodes[node.node_id] = node
         self._adjacency.setdefault(node.node_id, [])
         self._reverse_adjacency.setdefault(node.node_id, [])
@@ -140,6 +160,7 @@ class RoadNetwork:
             )
         if edge.source == edge.target:
             raise RoadNetworkError("self-loop edges are not allowed")
+        self._version += 1
         self._edges[edge.key] = edge
         if edge.target not in self._adjacency[edge.source]:
             self._adjacency[edge.source].append(edge.target)

@@ -1,0 +1,192 @@
+"""Reference shortest-path implementations (pre-compiled-graph era).
+
+These are the original dict-per-edge pure-Python algorithms that
+``repro.roadnet.shortest_path`` used before the flat-array
+:class:`~repro.roadnet.compiled.CompiledGraph` fast path replaced them.
+They are kept verbatim as the behavioural oracle: the equivalence tests in
+``tests/roadnet/test_routing_equivalence.py`` assert the compiled
+implementations return bit-identical routes, and the hot-path benchmarks
+(``benchmarks/bench_hot_paths.py``) measure the speedup against them.
+
+Do not "optimise" this module — its value is that it stays slow and obviously
+correct.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import NoPathError, RoadNetworkError
+from .graph import RoadEdge, RoadNetwork
+
+EdgeCost = Callable[[RoadEdge], float]
+
+
+def length_cost(edge: RoadEdge) -> float:
+    """Edge cost equal to the segment length in metres."""
+    return edge.length_m
+
+
+def free_flow_time_cost(edge: RoadEdge) -> float:
+    """Edge cost equal to the free-flow traversal time in seconds."""
+    return edge.free_flow_travel_time_s
+
+
+def dijkstra_path(
+    network: RoadNetwork,
+    origin: int,
+    destination: int,
+    cost: EdgeCost = length_cost,
+    forbidden_nodes: Optional[set] = None,
+    forbidden_edges: Optional[set] = None,
+) -> List[int]:
+    """Return the minimum-cost node path from ``origin`` to ``destination``."""
+    if not network.has_node(origin):
+        raise RoadNetworkError(f"unknown origin node {origin!r}")
+    if not network.has_node(destination):
+        raise RoadNetworkError(f"unknown destination node {destination!r}")
+    forbidden_nodes = forbidden_nodes or set()
+    forbidden_edges = forbidden_edges or set()
+    if origin in forbidden_nodes or destination in forbidden_nodes:
+        raise NoPathError(origin, destination)
+
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, int]] = [(0.0, next(counter), origin)]
+    best_cost: Dict[int, float] = {origin: 0.0}
+    parent: Dict[int, int] = {}
+    settled: set = set()
+
+    while frontier:
+        current_cost, _, current = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == destination:
+            return _reconstruct(parent, origin, destination)
+        for neighbor in network.neighbors(current):
+            if neighbor in forbidden_nodes or (current, neighbor) in forbidden_edges:
+                continue
+            edge = network.edge(current, neighbor)
+            edge_cost = cost(edge)
+            if edge_cost < 0:
+                raise RoadNetworkError("edge costs must be non-negative")
+            candidate = current_cost + edge_cost
+            if candidate < best_cost.get(neighbor, float("inf")):
+                best_cost[neighbor] = candidate
+                parent[neighbor] = current
+                heapq.heappush(frontier, (candidate, next(counter), neighbor))
+
+    raise NoPathError(origin, destination)
+
+
+def astar_path(
+    network: RoadNetwork,
+    origin: int,
+    destination: int,
+    cost: EdgeCost = length_cost,
+    heuristic_speed_kmh: Optional[float] = None,
+) -> List[int]:
+    """A* search with a straight-line admissible heuristic."""
+    if not network.has_node(origin):
+        raise RoadNetworkError(f"unknown origin node {origin!r}")
+    if not network.has_node(destination):
+        raise RoadNetworkError(f"unknown destination node {destination!r}")
+    goal = network.node_location(destination)
+
+    if heuristic_speed_kmh is None:
+        def heuristic(node_id: int) -> float:
+            return network.node_location(node_id).distance_to(goal)
+    else:
+        meters_per_second = heuristic_speed_kmh / 3.6
+        if meters_per_second <= 0:
+            raise RoadNetworkError("heuristic_speed_kmh must be positive")
+
+        def heuristic(node_id: int) -> float:
+            return network.node_location(node_id).distance_to(goal) / meters_per_second
+
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, int]] = [(heuristic(origin), next(counter), origin)]
+    best_cost: Dict[int, float] = {origin: 0.0}
+    parent: Dict[int, int] = {}
+    settled: set = set()
+
+    while frontier:
+        _, _, current = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == destination:
+            return _reconstruct(parent, origin, destination)
+        current_cost = best_cost[current]
+        for neighbor in network.neighbors(current):
+            edge = network.edge(current, neighbor)
+            candidate = current_cost + cost(edge)
+            if candidate < best_cost.get(neighbor, float("inf")):
+                best_cost[neighbor] = candidate
+                parent[neighbor] = current
+                heapq.heappush(frontier, (candidate + heuristic(neighbor), next(counter), neighbor))
+
+    raise NoPathError(origin, destination)
+
+
+def path_cost(network: RoadNetwork, path: Sequence[int], cost: EdgeCost = length_cost) -> float:
+    """Total cost of a node path under ``cost``."""
+    network.validate_path(path)
+    return sum(cost(network.edge(a, b)) for a, b in zip(path, path[1:]))
+
+
+def k_shortest_paths(
+    network: RoadNetwork,
+    origin: int,
+    destination: int,
+    k: int,
+    cost: EdgeCost = length_cost,
+) -> List[List[int]]:
+    """Yen's algorithm: up to ``k`` loopless paths in increasing cost order."""
+    if k <= 0:
+        return []
+    shortest = dijkstra_path(network, origin, destination, cost)
+    accepted: List[List[int]] = [shortest]
+    candidates: List[Tuple[float, List[int]]] = []
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        for spur_index in range(len(previous) - 1):
+            spur_node = previous[spur_index]
+            root_path = previous[: spur_index + 1]
+            forbidden_edges = set()
+            for path in accepted:
+                if len(path) > spur_index and path[: spur_index + 1] == root_path:
+                    forbidden_edges.add((path[spur_index], path[spur_index + 1]))
+            forbidden_nodes = set(root_path[:-1])
+            try:
+                spur_path = dijkstra_path(
+                    network,
+                    spur_node,
+                    destination,
+                    cost,
+                    forbidden_nodes=forbidden_nodes,
+                    forbidden_edges=forbidden_edges,
+                )
+            except NoPathError:
+                continue
+            total_path = root_path[:-1] + spur_path
+            total_cost = path_cost(network, total_path, cost)
+            if all(total_path != existing for _, existing in candidates) and total_path not in accepted:
+                heapq.heappush(candidates, (total_cost, total_path))
+        if not candidates:
+            break
+        _, best_candidate = heapq.heappop(candidates)
+        accepted.append(best_candidate)
+
+    return accepted
+
+
+def _reconstruct(parent: Dict[int, int], origin: int, destination: int) -> List[int]:
+    path = [destination]
+    while path[-1] != origin:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path

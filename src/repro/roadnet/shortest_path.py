@@ -4,18 +4,30 @@ Dijkstra and A* with pluggable edge-cost functions, plus Yen's algorithm for
 k-shortest loopless paths.  The web-service route recommenders are built on
 these, and the trajectory generator uses perturbed edge costs to create
 driver-preferred routes that deviate from the pure shortest path.
+
+All searches run on the network's :class:`~repro.roadnet.compiled.CompiledGraph`
+flat-array fast path (CSR adjacency, precomputed metric cost vectors, pooled
+search state).  ``cost`` still accepts any ``Callable[[RoadEdge], float]`` —
+the well-known :func:`length_cost` / :func:`free_flow_time_cost` callables
+(and the metric names ``"length"`` / ``"time"``) resolve to cost vectors
+precomputed at compile time; arbitrary callables are evaluated once per edge
+per call instead of once per relaxation, which in particular lets Yen's spur
+searches share a single evaluation.  Routes are bit-identical to the
+reference implementations in :mod:`repro.roadnet.reference` (same relaxation
+order, same heap tie-breaking, same floating-point accumulation order).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..exceptions import NoPathError, RoadNetworkError
+from .compiled import CompiledGraph, METRIC_LENGTH, METRIC_TIME
 from .graph import RoadEdge, RoadNetwork
 
 EdgeCost = Callable[[RoadEdge], float]
+CostSpec = Union[EdgeCost, str]
 
 
 def length_cost(edge: RoadEdge) -> float:
@@ -28,11 +40,55 @@ def free_flow_time_cost(edge: RoadEdge) -> float:
     return edge.free_flow_travel_time_s
 
 
+def _metric_vector(compiled: CompiledGraph, cost: CostSpec) -> Optional[List[float]]:
+    """The precompiled vector for a named metric, or ``None`` for callables.
+
+    Raises for unresolvable metric name strings, so every cost-spec consumer
+    shares one dispatch (and one error message).
+    """
+    if cost is length_cost or cost == METRIC_LENGTH:
+        return compiled.metric_costs(METRIC_LENGTH)
+    if cost is free_flow_time_cost or cost == METRIC_TIME:
+        return compiled.metric_costs(METRIC_TIME)
+    if isinstance(cost, str):
+        raise RoadNetworkError(f"unknown cost metric name {cost!r}")
+    return None
+
+
+def resolve_cost_vector(compiled: CompiledGraph, cost: CostSpec) -> Tuple[List[float], bool]:
+    """Resolve a cost spec to ``(per-edge cost vector in CSR order, is_metric)``.
+
+    The canonical callables and their metric names hit vectors precomputed at
+    compile time (``is_metric=True`` — known non-negative, since edge lengths
+    and speeds are validated positive at construction); any other callable is
+    evaluated once per edge and must be range-checked by the caller.
+    """
+    vector = _metric_vector(compiled, cost)
+    if vector is not None:
+        return vector, True
+    return compiled.cost_vector(cost), False
+
+
+def _endpoint_indices(
+    network: RoadNetwork, compiled: CompiledGraph, origin: int, destination: int
+) -> Tuple[int, int]:
+    if not network.has_node(origin):
+        raise RoadNetworkError(f"unknown origin node {origin!r}")
+    if not network.has_node(destination):
+        raise RoadNetworkError(f"unknown destination node {destination!r}")
+    return compiled.index_of[origin], compiled.index_of[destination]
+
+
+def _check_non_negative(costs: Sequence[float]) -> None:
+    if costs and min(costs) < 0:
+        raise RoadNetworkError("edge costs must be non-negative")
+
+
 def dijkstra_path(
     network: RoadNetwork,
     origin: int,
     destination: int,
-    cost: EdgeCost = length_cost,
+    cost: CostSpec = length_cost,
     forbidden_nodes: Optional[set] = None,
     forbidden_edges: Optional[set] = None,
 ) -> List[int]:
@@ -42,49 +98,41 @@ def dijkstra_path(
     "avoid this area" style queries.  Raises :class:`NoPathError` when the
     destination is unreachable.
     """
-    if not network.has_node(origin):
-        raise RoadNetworkError(f"unknown origin node {origin!r}")
-    if not network.has_node(destination):
-        raise RoadNetworkError(f"unknown destination node {destination!r}")
-    forbidden_nodes = forbidden_nodes or set()
-    forbidden_edges = forbidden_edges or set()
-    if origin in forbidden_nodes or destination in forbidden_nodes:
+    compiled = network.compiled()
+    source, target = _endpoint_indices(network, compiled, origin, destination)
+    if forbidden_nodes and (origin in forbidden_nodes or destination in forbidden_nodes):
         raise NoPathError(origin, destination)
+    costs, is_metric = resolve_cost_vector(compiled, cost)
+    if not is_metric:
+        _check_non_negative(costs)
+    adjacency = compiled.relaxation_lists(costs)
 
-    counter = itertools.count()
-    frontier: List[Tuple[float, int, int]] = [(0.0, next(counter), origin)]
-    best_cost: Dict[int, float] = {origin: 0.0}
-    parent: Dict[int, int] = {}
-    settled: set = set()
-
-    while frontier:
-        current_cost, _, current = heapq.heappop(frontier)
-        if current in settled:
-            continue
-        settled.add(current)
-        if current == destination:
-            return _reconstruct(parent, origin, destination)
-        for neighbor in network.neighbors(current):
-            if neighbor in forbidden_nodes or (current, neighbor) in forbidden_edges:
-                continue
-            edge = network.edge(current, neighbor)
-            edge_cost = cost(edge)
-            if edge_cost < 0:
-                raise RoadNetworkError("edge costs must be non-negative")
-            candidate = current_cost + edge_cost
-            if candidate < best_cost.get(neighbor, float("inf")):
-                best_cost[neighbor] = candidate
-                parent[neighbor] = current
-                heapq.heappush(frontier, (candidate, next(counter), neighbor))
-
-    raise NoPathError(origin, destination)
+    index_of = compiled.index_of
+    blocked_nodes = (
+        frozenset(index_of[n] for n in forbidden_nodes if n in index_of)
+        if forbidden_nodes
+        else None
+    )
+    blocked_positions = None
+    if forbidden_edges:
+        edge_pos = compiled.edge_pos
+        blocked_positions = frozenset(
+            edge_pos[(index_of[a], index_of[b])]
+            for a, b in forbidden_edges
+            if a in index_of and b in index_of and (index_of[a], index_of[b]) in edge_pos
+        )
+    path = compiled.dijkstra(adjacency, source, target, blocked_nodes, blocked_positions)
+    if path is None:
+        raise NoPathError(origin, destination)
+    node_ids = compiled.node_ids
+    return [node_ids[i] for i in path]
 
 
 def astar_path(
     network: RoadNetwork,
     origin: int,
     destination: int,
-    cost: EdgeCost = length_cost,
+    cost: CostSpec = length_cost,
     heuristic_speed_kmh: Optional[float] = None,
 ) -> List[int]:
     """A* search with a straight-line admissible heuristic.
@@ -93,52 +141,33 @@ def astar_path(
     the destination.  For time costs, pass ``heuristic_speed_kmh`` as the
     fastest speed in the network so the heuristic stays admissible.
     """
-    if not network.has_node(origin):
-        raise RoadNetworkError(f"unknown origin node {origin!r}")
-    if not network.has_node(destination):
-        raise RoadNetworkError(f"unknown destination node {destination!r}")
-    goal = network.node_location(destination)
-
+    compiled = network.compiled()
+    source, target = _endpoint_indices(network, compiled, origin, destination)
     if heuristic_speed_kmh is None:
-        def heuristic(node_id: int) -> float:
-            return network.node_location(node_id).distance_to(goal)
+        heuristic_scale = 1.0
     else:
-        meters_per_second = heuristic_speed_kmh / 3.6
-        if meters_per_second <= 0:
+        heuristic_scale = heuristic_speed_kmh / 3.6
+        if heuristic_scale <= 0:
             raise RoadNetworkError("heuristic_speed_kmh must be positive")
-
-        def heuristic(node_id: int) -> float:
-            return network.node_location(node_id).distance_to(goal) / meters_per_second
-
-    counter = itertools.count()
-    frontier: List[Tuple[float, int, int]] = [(heuristic(origin), next(counter), origin)]
-    best_cost: Dict[int, float] = {origin: 0.0}
-    parent: Dict[int, int] = {}
-    settled: set = set()
-
-    while frontier:
-        _, _, current = heapq.heappop(frontier)
-        if current in settled:
-            continue
-        settled.add(current)
-        if current == destination:
-            return _reconstruct(parent, origin, destination)
-        current_cost = best_cost[current]
-        for neighbor in network.neighbors(current):
-            edge = network.edge(current, neighbor)
-            candidate = current_cost + cost(edge)
-            if candidate < best_cost.get(neighbor, float("inf")):
-                best_cost[neighbor] = candidate
-                parent[neighbor] = current
-                heapq.heappush(frontier, (candidate + heuristic(neighbor), next(counter), neighbor))
-
-    raise NoPathError(origin, destination)
+    costs, _ = resolve_cost_vector(compiled, cost)
+    path = compiled.astar(compiled.relaxation_lists(costs), source, target, heuristic_scale)
+    if path is None:
+        raise NoPathError(origin, destination)
+    node_ids = compiled.node_ids
+    return [node_ids[i] for i in path]
 
 
-def path_cost(network: RoadNetwork, path: Sequence[int], cost: EdgeCost = length_cost) -> float:
+def path_cost(network: RoadNetwork, path: Sequence[int], cost: CostSpec = length_cost) -> float:
     """Total cost of a node path under ``cost``."""
     network.validate_path(path)
-    return sum(cost(network.edge(a, b)) for a, b in zip(path, path[1:]))
+    compiled = network.compiled()
+    costs = _metric_vector(compiled, cost)
+    if costs is None:
+        # One-off callable: evaluating only the path's own edges is cheaper
+        # than building a full cost vector.
+        return sum(cost(network.edge(a, b)) for a, b in zip(path, path[1:]))
+    index_of = compiled.index_of
+    return compiled.path_cost(costs, [index_of[n] for n in path])
 
 
 def k_shortest_paths(
@@ -146,55 +175,79 @@ def k_shortest_paths(
     origin: int,
     destination: int,
     k: int,
-    cost: EdgeCost = length_cost,
+    cost: CostSpec = length_cost,
 ) -> List[List[int]]:
     """Yen's algorithm: up to ``k`` loopless paths in increasing cost order.
 
     Used to simulate map services that offer alternative routes, and by the
-    trajectory generator to give drivers a menu of plausible routes.
+    trajectory generator to give drivers a menu of plausible routes.  The
+    cost vector is resolved once and shared across every spur search, and
+    duplicate candidates are rejected with an O(1) set lookup instead of the
+    former O(k·|candidates|·|path|) scan.
     """
     if k <= 0:
         return []
-    shortest = dijkstra_path(network, origin, destination, cost)
+    compiled = network.compiled()
+    source, target = _endpoint_indices(network, compiled, origin, destination)
+    costs, is_metric = resolve_cost_vector(compiled, cost)
+    if not is_metric:
+        _check_non_negative(costs)
+    adjacency = compiled.relaxation_lists(costs)
+
+    shortest = compiled.dijkstra(adjacency, source, target)
+    if shortest is None:
+        raise NoPathError(origin, destination)
+
+    edge_pos = compiled.edge_pos
     accepted: List[List[int]] = [shortest]
-    candidates: List[Tuple[float, List[int]]] = []
+    # Every path ever pushed as a candidate (still queued or already
+    # accepted); candidate paths are compared as tuples, whose ordering under
+    # heapq matches the reference's list comparison exactly.
+    seen: Set[Tuple[int, ...]] = {tuple(shortest)}
+    candidates: List[Tuple[float, Tuple[int, ...]]] = []
+    # Lawler's optimisation: spur scans below the index where a path deviated
+    # from its generator would recompute searches whose results are already in
+    # ``seen`` (the forbidden sets are unchanged there), so each accepted path
+    # records its deviation index and scanning resumes from it.
+    deviation_index: dict = {tuple(shortest): 0}
 
     while len(accepted) < k:
         previous = accepted[-1]
-        for spur_index in range(len(previous) - 1):
+        start = deviation_index[tuple(previous)]
+        # ``matching`` tracks the accepted paths sharing the current root
+        # prefix; narrowing it one node at a time replaces the reference's
+        # per-spur O(k·|path|) prefix-slice comparisons.  ``root_nodes``
+        # accumulates the interior root nodes forbidden to spur searches.
+        matching = [p for p in accepted if p[:start] == previous[:start]]
+        root_nodes = set(previous[:start])
+        for spur_index in range(start, len(previous) - 1):
             spur_node = previous[spur_index]
-            root_path = previous[: spur_index + 1]
-            forbidden_edges = set()
-            for path in accepted:
-                if len(path) > spur_index and path[: spur_index + 1] == root_path:
-                    forbidden_edges.add((path[spur_index], path[spur_index + 1]))
-            forbidden_nodes = set(root_path[:-1])
-            try:
-                spur_path = dijkstra_path(
-                    network,
-                    spur_node,
-                    destination,
-                    cost,
-                    forbidden_nodes=forbidden_nodes,
-                    forbidden_edges=forbidden_edges,
-                )
-            except NoPathError:
+            matching = [p for p in matching if len(p) > spur_index and p[spur_index] == spur_node]
+            forbidden_positions = frozenset(
+                edge_pos[(p[spur_index], p[spur_index + 1])] for p in matching
+            )
+            spur_path = compiled.dijkstra(
+                adjacency,
+                spur_node,
+                target,
+                frozenset(root_nodes) if root_nodes else None,
+                forbidden_positions,
+            )
+            root_nodes.add(spur_node)
+            if spur_path is None:
                 continue
-            total_path = root_path[:-1] + spur_path
-            total_cost = path_cost(network, total_path, cost)
-            if all(total_path != existing for _, existing in candidates) and total_path not in accepted:
-                heapq.heappush(candidates, (total_cost, total_path))
+            total_path = previous[:spur_index] + spur_path
+            total_key = tuple(total_path)
+            if total_key in seen:
+                continue
+            seen.add(total_key)
+            deviation_index[total_key] = spur_index
+            total_cost = compiled.path_cost(costs, total_path)
+            heapq.heappush(candidates, (total_cost, total_key))
         if not candidates:
             break
         _, best_candidate = heapq.heappop(candidates)
-        accepted.append(best_candidate)
+        accepted.append(list(best_candidate))
 
-    return accepted
-
-
-def _reconstruct(parent: Dict[int, int], origin: int, destination: int) -> List[int]:
-    path = [destination]
-    while path[-1] != origin:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path
+    node_ids = compiled.node_ids
+    return [[node_ids[i] for i in path] for path in accepted]

@@ -144,6 +144,47 @@ class TestPlannerPipeline:
         with pytest.raises(RoutingError):
             planner.recommend(scenario.sample_queries(1, seed=408)[0])
 
+    def test_recommend_batch_matches_sequential_recommend(self, scenario):
+        # Deterministic fixed sources so both planners resolve every query
+        # identically (the shared simulated crowd draws fresh randomness per
+        # task, which would make a crowd-answered comparison flaky).
+        queries = scenario.sample_queries(6, seed=410)
+
+        def build():
+            return CrowdPlanner(
+                network=scenario.network,
+                catalog=scenario.catalog,
+                calibrator=scenario.calibrator,
+                sources=[
+                    FixedSource("only", scenario.ground_truth_path(query))
+                    for query in queries[:1]
+                ],
+                worker_pool=scenario.worker_pool,
+            )
+
+        sequential = build()
+        expected = [sequential.recommend(query) for query in queries]
+        results = build().recommend_batch(queries)
+        assert [list(r.route.path) for r in results] == [list(r.route.path) for r in expected]
+        assert [r.method for r in results] == [r.method for r in expected]
+
+    def test_recommend_batch_answers_every_query(self, scenario):
+        planner = scenario.build_planner()
+        queries = scenario.sample_queries(5, seed=412)
+        results = planner.recommend_batch(queries)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert result.route.path[0] == query.origin
+            assert result.route.path[-1] == query.destination
+        assert planner.statistics.requests == len(queries)
+
+    def test_recommend_batch_reuses_truths_within_batch(self, scenario):
+        planner = scenario.build_planner()
+        query = scenario.sample_queries(1, seed=411)[0]
+        results = planner.recommend_batch([query, query])
+        assert results[1].method == "truth_reuse"
+        assert results[1].route.path == results[0].route.path
+
     def test_generate_candidates_deduplicates(self, scenario):
         query = scenario.sample_queries(1, seed=409)[0]
         ground_path = scenario.ground_truth_path(query)

@@ -149,6 +149,36 @@ class TestPMF:
         with pytest.raises(ConfigurationError):
             pmf.fit(np.zeros((2, 2)), mask=np.zeros((3, 3), dtype=bool))
 
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMatrixFactorization().fit(np.eye(3), method="magic")
+
+    def test_sparse_matches_dense_training(self):
+        # The observed-entry (COO) gradient path must minimise the same
+        # objective as the original dense masked implementation.
+        rng = np.random.default_rng(17)
+        true_workers = rng.uniform(0.2, 1.0, size=(4, 25))
+        true_landmarks = rng.uniform(0.2, 1.0, size=(4, 30))
+        matrix = true_workers.T @ true_landmarks
+        mask = rng.random(matrix.shape) < 0.08  # ~92% unobserved
+        observed = np.where(mask, matrix, 0.0)
+
+        sparse_pmf = ProbabilisticMatrixFactorization(latent_dim=4, max_iterations=150)
+        dense_pmf = ProbabilisticMatrixFactorization(latent_dim=4, max_iterations=150)
+        sparse_report = sparse_pmf.fit(observed, mask, method="sparse")
+        dense_report = dense_pmf.fit(observed, mask, method="dense")
+
+        assert sparse_report.final_objective == pytest.approx(
+            dense_report.final_objective, rel=1e-6
+        )
+        assert np.allclose(sparse_pmf.predict(), dense_pmf.predict(), atol=1e-6)
+
+    def test_sparse_handles_empty_mask(self):
+        pmf = ProbabilisticMatrixFactorization(latent_dim=2, max_iterations=10)
+        report = pmf.fit(np.zeros((4, 5)))
+        assert np.isfinite(report.final_objective)
+        assert pmf.predict().shape == (4, 5)
+
 
 class TestFamiliarityModel:
     def setup_method(self):

@@ -1,0 +1,191 @@
+"""Compiled-graph routing must be indistinguishable from the reference.
+
+The CSR fast path in ``repro.roadnet.shortest_path`` promises *bit-identical*
+routes and costs versus the original dict-per-edge implementations preserved
+in ``repro.roadnet.reference``.  These property-style tests compare the two
+over small random networks (several seeds, both generator topologies),
+including the forbidden-node/edge searches Yen's algorithm depends on and
+custom per-edge cost callables.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NoPathError
+from repro.roadnet import reference
+from repro.roadnet import shortest_path as fast
+from repro.roadnet.generators import (
+    GridCityConfig,
+    generate_grid_city,
+    generate_radial_city,
+    random_od_pairs,
+)
+
+GRID_SEEDS = (1, 7, 23, 99)
+
+
+def _grid(seed):
+    return generate_grid_city(
+        GridCityConfig(rows=6, cols=6, seed=seed, drop_edge_probability=0.08, jitter_m=20.0)
+    )
+
+
+def _pairs(network, count, seed):
+    return random_od_pairs(network, count, min_distance_m=400.0, seed=seed)
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+class TestIdenticalOnRandomGrids:
+    def test_dijkstra_paths_identical(self, seed):
+        network = _grid(seed)
+        for origin, destination in _pairs(network, 12, seed + 100):
+            assert fast.dijkstra_path(network, origin, destination) == reference.dijkstra_path(
+                network, origin, destination
+            )
+
+    def test_dijkstra_time_cost_identical(self, seed):
+        network = _grid(seed)
+        for origin, destination in _pairs(network, 8, seed + 200):
+            assert fast.dijkstra_path(
+                network, origin, destination, cost=fast.free_flow_time_cost
+            ) == reference.dijkstra_path(
+                network, origin, destination, cost=reference.free_flow_time_cost
+            )
+
+    def test_astar_paths_identical(self, seed):
+        network = _grid(seed)
+        for origin, destination in _pairs(network, 12, seed + 300):
+            assert fast.astar_path(network, origin, destination) == reference.astar_path(
+                network, origin, destination
+            )
+
+    def test_k_shortest_identical(self, seed):
+        network = _grid(seed)
+        for origin, destination in _pairs(network, 5, seed + 400):
+            for k in (1, 3, 7):
+                assert fast.k_shortest_paths(
+                    network, origin, destination, k
+                ) == reference.k_shortest_paths(network, origin, destination, k)
+
+    def test_path_costs_identical(self, seed):
+        network = _grid(seed)
+        for origin, destination in _pairs(network, 8, seed + 500):
+            path = fast.dijkstra_path(network, origin, destination)
+            assert fast.path_cost(network, path) == reference.path_cost(network, path)
+            assert fast.path_cost(network, path, fast.free_flow_time_cost) == reference.path_cost(
+                network, path, reference.free_flow_time_cost
+            )
+
+    def test_custom_cost_callable_identical(self, seed):
+        network = _grid(seed)
+
+        def wacky(edge):
+            return edge.length_m * 1.7 + (3.0 if edge.road_class.value == "local" else 0.0)
+
+        for origin, destination in _pairs(network, 6, seed + 600):
+            assert fast.dijkstra_path(network, origin, destination, cost=wacky) == (
+                reference.dijkstra_path(network, origin, destination, cost=wacky)
+            )
+            assert fast.k_shortest_paths(network, origin, destination, 4, cost=wacky) == (
+                reference.k_shortest_paths(network, origin, destination, 4, cost=wacky)
+            )
+
+
+class TestForbiddenSets:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_forbidden_nodes_and_edges_identical(self, seed):
+        network = _grid(seed % 50)
+        pairs = _pairs(network, 1, seed % 997)
+        if not pairs:
+            return
+        origin, destination = pairs[0]
+        base = fast.dijkstra_path(network, origin, destination)
+        # Forbid the middle node and first edge of the best path, as Yen does.
+        forbidden_nodes = {base[len(base) // 2]} if len(base) > 2 else set()
+        forbidden_edges = {(base[0], base[1])}
+        try:
+            expected = reference.dijkstra_path(
+                network,
+                origin,
+                destination,
+                forbidden_nodes=forbidden_nodes,
+                forbidden_edges=forbidden_edges,
+            )
+        except NoPathError:
+            with pytest.raises(NoPathError):
+                fast.dijkstra_path(
+                    network,
+                    origin,
+                    destination,
+                    forbidden_nodes=forbidden_nodes,
+                    forbidden_edges=forbidden_edges,
+                )
+            return
+        got = fast.dijkstra_path(
+            network,
+            origin,
+            destination,
+            forbidden_nodes=forbidden_nodes,
+            forbidden_edges=forbidden_edges,
+        )
+        assert got == expected
+
+    def test_unknown_ids_in_forbidden_sets_are_ignored(self):
+        network = _grid(3)
+        origin, destination = _pairs(network, 1, 11)[0]
+        assert fast.dijkstra_path(
+            network,
+            origin,
+            destination,
+            forbidden_nodes={-1, 10**9},
+            forbidden_edges={(-1, -2), (10**9, 0)},
+        ) == reference.dijkstra_path(network, origin, destination)
+
+
+class TestRadialTopology:
+    def test_all_algorithms_identical(self):
+        network = generate_radial_city(rings=4, spokes=10, seed=3)
+        for origin, destination in random_od_pairs(network, 10, min_distance_m=800.0, seed=4):
+            assert fast.dijkstra_path(network, origin, destination) == reference.dijkstra_path(
+                network, origin, destination
+            )
+            assert fast.astar_path(network, origin, destination) == reference.astar_path(
+                network, origin, destination
+            )
+            assert fast.k_shortest_paths(network, origin, destination, 6) == (
+                reference.k_shortest_paths(network, origin, destination, 6)
+            )
+
+
+class TestCompiledLifecycle:
+    def test_compiled_view_is_cached(self):
+        network = _grid(5)
+        assert network.compiled() is network.compiled()
+
+    def test_mutation_invalidates_compiled_view(self):
+        from repro.roadnet.graph import RoadEdge, RoadNetwork, RoadNode
+        from repro.spatial import Point
+
+        network = RoadNetwork()
+        network.add_node(RoadNode(0, Point(0.0, 0.0)))
+        network.add_node(RoadNode(1, Point(1000.0, 0.0)))
+        network.add_node(RoadNode(2, Point(500.0, 800.0)))
+        network.add_edge(RoadEdge(0, 2, 1000.0), bidirectional=True)
+        network.add_edge(RoadEdge(2, 1, 1000.0), bidirectional=True)
+        assert fast.dijkstra_path(network, 0, 1) == [0, 2, 1]
+        stale = network.compiled()
+        # A new direct edge must be visible to the next search.
+        network.add_edge(RoadEdge(0, 1, 900.0), bidirectional=True)
+        assert network.compiled() is not stale
+        assert fast.dijkstra_path(network, 0, 1) == [0, 1]
+
+    def test_search_state_reuse_does_not_leak_between_calls(self):
+        network = _grid(9)
+        pairs = _pairs(network, 6, 21)
+        # Interleave different endpoints and metrics; pooled scratch arrays
+        # must behave as if freshly allocated for every call.
+        expected = [reference.dijkstra_path(network, o, d) for o, d in pairs]
+        for _ in range(3):
+            assert [fast.dijkstra_path(network, o, d) for o, d in pairs] == expected
+            network.compiled()  # touch the cache between rounds

@@ -1,0 +1,1 @@
+"""Test package marker so relative imports inside the suite resolve."""

@@ -89,6 +89,65 @@ class TestQueries:
         assert GridIndex().k_nearest(Point(0, 0), 0) == []
 
 
+class TestDeterministicTieBreaking:
+    def test_equidistant_items_rank_by_insertion_order(self):
+        index = GridIndex(cell_size=100)
+        # Four items at the same distance from the query, inserted in an
+        # order that differs from their lexicographic order.
+        index.insert("zz", Point(10, 0))
+        index.insert("aa", Point(-10, 0))
+        index.insert("mm", Point(0, 10))
+        index.insert("bb", Point(0, -10))
+        results = index.within_radius(Point(0, 0), 50)
+        assert [item for item, _ in results] == ["zz", "aa", "mm", "bb"]
+
+    def test_reinsertion_moves_item_to_back_of_ties(self):
+        index = GridIndex(cell_size=100)
+        index.insert("a", Point(10, 0))
+        index.insert("b", Point(0, 10))
+        index.insert("a", Point(-10, 0))  # move: now younger than "b"
+        results = index.within_radius(Point(0, 0), 50)
+        assert [item for item, _ in results] == ["b", "a"]
+
+    def test_unorderable_items_are_supported(self):
+        # The former tie-break on str(item) was deterministic but allocated a
+        # string per pair; insertion-order ranking must handle items whose
+        # repr is unstable (default object repr embeds the address).
+        index = GridIndex(cell_size=100)
+        first, second = object(), object()
+        index.insert(first, Point(10, 0))
+        index.insert(second, Point(-10, 0))
+        results = index.within_radius(Point(0, 0), 50)
+        assert [item for item, _ in results] == [first, second]
+
+
+class TestChurn:
+    def test_heavy_insert_remove_churn_stays_correct_and_compact(self):
+        index = GridIndex(cell_size=137.0)
+        live = {}
+        for i in range(3000):
+            name = f"p{i % 200}"  # constant rotation of 200 identities
+            location = Point((i * 37) % 1000, (i * 91) % 1000)
+            index.insert(name, location)
+            live[name] = location
+            if i % 3 == 2:
+                victim = f"p{(i - 2) % 200}"
+                if victim in index:
+                    index.remove(victim)
+                    del live[victim]
+        assert len(index) == len(live)
+        # Tombstoned slots must be compacted away, not accumulate forever.
+        assert len(index._slot_item) <= max(64, 2 * len(live)) * 2
+        query = Point(500, 500)
+        expected = {n for n, p in live.items() if query.distance_to(p) <= 300.0}
+        assert {item for item, _ in index.within_radius(query, 300.0)} == expected
+        nearest_item, _ = index.nearest(query)
+        assert nearest_item == min(live, key=lambda n: (query.distance_to(live[n]), n)) or (
+            query.distance_to(live[nearest_item])
+            == min(query.distance_to(p) for p in live.values())
+        )
+
+
 class TestAgainstLinearScan:
     @given(point_list, coord, coord)
     @settings(max_examples=50, deadline=None)
