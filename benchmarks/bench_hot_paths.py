@@ -1,10 +1,13 @@
 """Hot-path microbenchmarks: compiled routing core vs. reference, spatial
-index queries, and sparse vs. dense PMF training.
+index queries, sparse vs. dense PMF training, and the crowd-evaluation
+pipeline (compiled popularity routing, vectorized familiarity accumulation,
+batched crowd simulation) vs. its preserved sequential oracles.
 
 These benchmarks seed the repo's performance trajectory: run them through
 ``scripts/bench_to_json.py`` to (re)generate ``BENCH_hot_paths.json`` at the
 repo root, which records per-benchmark timings and the compiled-vs-reference
-speedups future perf PRs are judged against.
+speedups future perf PRs are judged against (``scripts/bench_check.py``
+enforces them in CI).
 
 Every paired benchmark first asserts the fast path returns results identical
 to the reference implementation on the same seeded inputs, so a timing win
@@ -19,10 +22,15 @@ import random
 import numpy as np
 import pytest
 
+from repro.core.familiarity import FamiliarityModel
 from repro.core.pmf import ProbabilisticMatrixFactorization
+from repro.core.task_generation import TaskGenerator
+from repro.exceptions import TaskGenerationError
 from repro.roadnet import reference
 from repro.roadnet import shortest_path as fast
 from repro.roadnet.generators import GridCityConfig, generate_grid_city, random_od_pairs
+from repro.routing.base import RouteQuery
+from repro.routing.mpr import MostPopularRouteMiner
 from repro.spatial import GridIndex, Point
 
 CITY = GridCityConfig(rows=10, cols=10, block_size_m=220.0, seed=23)
@@ -151,3 +159,112 @@ def test_pmf_fit_sparse(benchmark, pmf_problem):
 @pytest.mark.benchmark(group="pmf_fit")
 def test_pmf_fit_dense(benchmark, pmf_problem):
     benchmark(_fit_pmf, pmf_problem, "dense")
+
+
+# ---------------------------------------------------------------- popularity
+@pytest.fixture(scope="module")
+def popularity_setup(bench_scenario):
+    """Paired MPR miners (compiled cost vector vs. closure) over one transfer
+    network, plus the scenario's hot od-pairs as queries."""
+    compiled_miner = MostPopularRouteMiner(bench_scenario.network, bench_scenario.store, min_support=2)
+    reference_miner = MostPopularRouteMiner(
+        bench_scenario.network,
+        bench_scenario.store,
+        min_support=2,
+        transfer_network=compiled_miner.transfer,
+        use_compiled_costs=False,
+    )
+    queries = [RouteQuery(origin, destination) for origin, destination in bench_scenario.hot_pairs]
+    return compiled_miner, reference_miner, queries
+
+
+def _run_popularity(miner, queries):
+    return [miner.recommend_or_none(query) for query in queries]
+
+
+@pytest.mark.benchmark(group="popularity_routing")
+def test_popularity_compiled(benchmark, popularity_setup):
+    compiled_miner, reference_miner, queries = popularity_setup
+    routes = benchmark(_run_popularity, compiled_miner, queries)
+    expected = _run_popularity(reference_miner, queries)
+    assert [r.path if r else None for r in routes] == [r.path if r else None for r in expected]
+
+
+@pytest.mark.benchmark(group="popularity_routing")
+def test_popularity_reference(benchmark, popularity_setup):
+    _, reference_miner, queries = popularity_setup
+    benchmark(_run_popularity, reference_miner, queries)
+
+
+# --------------------------------------------------------------- familiarity
+@pytest.fixture(scope="module")
+def familiarity_setup(bench_scenario):
+    """A familiarity model plus a PMF-completed matrix ready to accumulate."""
+    model = FamiliarityModel(bench_scenario.worker_pool, bench_scenario.catalog)
+    raw = model.build_raw_matrix()
+    completed = model.pmf.complete(raw) if raw.any() else raw
+    return model, completed
+
+
+@pytest.mark.benchmark(group="familiarity")
+def test_familiarity_compiled(benchmark, familiarity_setup):
+    model, completed = familiarity_setup
+    accumulated = benchmark(model._accumulate, completed)
+    assert np.array_equal(accumulated, model._accumulate_reference(completed))
+
+
+@pytest.mark.benchmark(group="familiarity")
+def test_familiarity_reference(benchmark, familiarity_setup):
+    model, completed = familiarity_setup
+    benchmark(model._accumulate_reference, completed)
+
+
+# --------------------------------------------------------------- crowd batch
+@pytest.fixture(scope="module")
+def crowd_setup(bench_scenario):
+    """Crowd tasks generated from the scenario plus the full worker crew."""
+    generator = TaskGenerator(bench_scenario.calibrator, bench_scenario.catalog)
+    tasks = []
+    for query in bench_scenario.sample_queries(40, seed=501):
+        candidates = []
+        seen = set()
+        for source in bench_scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 2:
+            continue
+        try:
+            tasks.append(generator.generate(query, candidates))
+        except TaskGenerationError:
+            continue
+        if len(tasks) >= 8:
+            break
+    if not tasks:
+        pytest.skip("no crowd task could be generated")
+    return bench_scenario.crowd, tasks, bench_scenario.worker_pool.ids()
+
+
+def _run_crowd(collect, crowd, tasks, worker_ids):
+    responses = []
+    for task in tasks:
+        # Pin the per-task RNG derivation so every timing round (and the
+        # batched/sequential pair) samples identical randomness.
+        crowd._task_counter = 0
+        responses.append(collect(task, worker_ids))
+    return responses
+
+
+@pytest.mark.benchmark(group="crowd_batch")
+def test_crowd_batch_compiled(benchmark, crowd_setup):
+    crowd, tasks, worker_ids = crowd_setup
+    responses = benchmark(_run_crowd, crowd.collect_responses, crowd, tasks, worker_ids)
+    assert responses == _run_crowd(crowd.collect_responses_sequential, crowd, tasks, worker_ids)
+
+
+@pytest.mark.benchmark(group="crowd_batch")
+def test_crowd_batch_reference(benchmark, crowd_setup):
+    crowd, tasks, worker_ids = crowd_setup
+    benchmark(_run_crowd, crowd.collect_responses_sequential, crowd, tasks, worker_ids)

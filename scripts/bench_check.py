@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Guard the hot-path performance trajectory.
+
+Re-runs the hot-path microbenchmarks and compares each suite's
+speedup-vs-reference against the committed ``BENCH_hot_paths.json``: the check
+fails when any suite drops below ``--threshold`` (default 0.7) times its
+committed speedup — i.e. a fast path that lost more than ~30% of its recorded
+advantage over the preserved oracle.  Absolute timings are machine-dependent,
+but the fast/reference *ratio* is measured on the same machine in the same
+run, which makes it a portable regression signal.
+
+Usage::
+
+    python scripts/bench_check.py                   # re-run + compare
+    python scripts/bench_check.py --threshold 0.5   # looser gate
+    python scripts/bench_check.py --candidate f.json  # compare a prior run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_to_json import run_benchmarks, summarise
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_hot_paths.json"
+
+
+def compare(committed: dict, candidate: dict, threshold: float) -> list:
+    """Return ``(group, committed, measured, floor)`` rows that regressed."""
+    failures = []
+    for group, recorded in sorted(committed.get("speedups", {}).items()):
+        measured = candidate.get("speedups", {}).get(group)
+        floor = recorded * threshold
+        if measured is None:
+            failures.append((group, recorded, None, floor))
+        elif measured < floor:
+            failures.append((group, recorded, measured, floor))
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.7,
+        help="minimum fraction of the committed speedup each suite must keep",
+    )
+    parser.add_argument(
+        "--trajectory",
+        default=str(TRAJECTORY),
+        help="committed trajectory file to compare against",
+    )
+    parser.add_argument(
+        "--candidate",
+        default=None,
+        help="use an existing summary JSON instead of re-running the benchmarks",
+    )
+    parser.add_argument("--pytest-args", default="", help="extra args passed to pytest")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold <= 1.0:
+        parser.error("--threshold must be in (0, 1]")
+
+    committed = json.loads(Path(args.trajectory).read_text())
+    if args.candidate:
+        candidate = json.loads(Path(args.candidate).read_text())
+    else:
+        candidate = summarise(run_benchmarks(args.pytest_args))
+
+    for group, measured in sorted(candidate.get("speedups", {}).items()):
+        recorded = committed.get("speedups", {}).get(group)
+        recorded_text = f"{recorded:.2f}x committed" if recorded else "new suite"
+        print(f"  {group}: {measured:.2f}x measured ({recorded_text})")
+
+    failures = compare(committed, candidate, args.threshold)
+    if failures:
+        print(f"\nFAIL: {len(failures)} suite(s) below {args.threshold:.0%} of the trajectory:")
+        for group, recorded, measured, floor in failures:
+            measured_text = "missing" if measured is None else f"{measured:.2f}x"
+            print(f"  {group}: {measured_text} < floor {floor:.2f}x (committed {recorded:.2f}x)")
+        return 1
+    print(f"\nOK: every suite holds >= {args.threshold:.0%} of its committed speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

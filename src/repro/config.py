@@ -10,7 +10,7 @@ scattering magic numbers through the code base.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from .exceptions import ConfigurationError

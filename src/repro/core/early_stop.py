@@ -10,7 +10,7 @@ outstanding), the answer is returned immediately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 

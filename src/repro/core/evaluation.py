@@ -17,8 +17,8 @@ settle the request itself:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import RoutingError
@@ -102,22 +102,34 @@ class RouteEvaluator:
         the request's neighbourhood, of (similarity to the truth x the truth's
         own confidence), decayed by how far the truth's endpoints are from the
         request's endpoints.
+
+        The endpoint distance decay depends only on the truth, so it is
+        computed once per truth rather than once per (candidate, truth) pair;
+        the per-pair work is then a single Jaccard over the routes' cached
+        edge signatures (see :meth:`CandidateRoute.edge_signature`).
         """
         origin = self.network.node_location(query.origin)
         destination = self.network.node_location(query.destination)
         nearby = self.truths.truths_near(origin, destination, self.neighbourhood_radius_m)
-        scores: Dict[str, float] = {}
-        for candidate in candidates:
-            best = 0.0
-            for truth in nearby:
-                distance_decay = 1.0 / (
+        decayed = [
+            (
+                truth,
+                1.0
+                / (
                     1.0
                     + (
                         truth.origin.distance_to(origin)
                         + truth.destination.distance_to(destination)
                     )
                     / self.neighbourhood_radius_m
-                )
+                ),
+            )
+            for truth in nearby
+        ]
+        scores: Dict[str, float] = {}
+        for candidate in candidates:
+            best = 0.0
+            for truth, distance_decay in decayed:
                 similarity = candidate.similarity_to(truth.route)
                 best = max(best, similarity * truth.confidence * distance_decay)
             scores[candidate.source] = best

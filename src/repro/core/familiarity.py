@@ -17,8 +17,7 @@ scores over all landmarks within the knowledge radius ``eta_dis``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +48,10 @@ class FamiliarityModel:
         self._landmark_index = {lid: j for j, lid in enumerate(self._landmark_ids)}
         self._completed: Optional[np.ndarray] = None
         self._accumulated: Optional[np.ndarray] = None
+        # Neighbourhood accumulation structure, cached against the catalogue
+        # version (see _accumulation_rounds).
+        self._rounds_key: Optional[Tuple[int, float]] = None
+        self._rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
 
     # ---------------------------------------------------------------- scores
     def raw_score(self, worker: Worker, landmark_id: int) -> float:
@@ -110,7 +113,25 @@ class FamiliarityModel:
         return self._accumulated
 
     def _accumulate(self, completed: np.ndarray) -> np.ndarray:
-        """Gaussian-weighted neighbourhood sum: the paper's ``F_w^l``."""
+        """Gaussian-weighted neighbourhood sum: the paper's ``F_w^l``.
+
+        Vectorized as round-sliced gather/scatter over the cached neighbour
+        structure: round ``r`` adds every landmark's ``r``-th neighbour
+        contribution in one numpy operation, so the Python loop shrinks from
+        one iteration per (landmark, neighbour) pair to one per round (the
+        maximum neighbour count).  Because each column still receives its
+        contributions in the exact neighbour order of the sequential loop —
+        and elementwise multiply/add are the same IEEE operations either way
+        — the result is bit-identical to :meth:`_accumulate_reference`.
+        """
+        accumulated = np.zeros_like(completed)
+        for destinations, sources, weights in self._accumulation_rounds():
+            accumulated[:, destinations] += completed[:, sources] * weights
+        return accumulated
+
+    def _accumulate_reference(self, completed: np.ndarray) -> np.ndarray:
+        """The original sequential accumulation — the oracle for the
+        vectorized path (equivalence tests and benchmarks compare the two)."""
         radius = self.config.knowledge_radius_m
         sigma = radius / 3.0
         accumulated = np.zeros_like(completed)
@@ -124,6 +145,50 @@ class FamiliarityModel:
                 weight = _gaussian_weight(distance, sigma)
                 accumulated[:, column] += weight * completed[:, neighbour_column]
         return accumulated
+
+    def _accumulation_rounds(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-round ``(destination columns, source columns, weights)`` arrays.
+
+        Round ``r`` holds, for every landmark column with at least ``r + 1``
+        neighbours, that landmark's ``r``-th neighbour column and Gaussian
+        weight, in the exact order the sequential loop visits them (the
+        spatial index's distance-sorted ``within_radius`` ranking).  Weights
+        are computed with the same scalar arithmetic as the reference
+        (``Point.distance_to`` + :func:`_gaussian_weight`).  The structure
+        only depends on the catalogue geometry and the knowledge radius, so it
+        is cached and invalidated via :attr:`LandmarkCatalog.version`.
+        """
+        radius = self.config.knowledge_radius_m
+        key = (self.catalog.version, radius)
+        if self._rounds_key == key:
+            return self._rounds
+        sigma = radius / 3.0
+        per_landmark: List[Tuple[int, List[Tuple[int, float]]]] = []
+        for landmark_id in self._landmark_ids:
+            column = self._landmark_index[landmark_id]
+            anchor = self.catalog.get(landmark_id).anchor
+            entries = []
+            for neighbour in self.catalog.within_radius(anchor, radius):
+                distance = anchor.distance_to(neighbour.anchor)
+                entries.append(
+                    (self._landmark_index[neighbour.landmark_id], _gaussian_weight(distance, sigma))
+                )
+            per_landmark.append((column, entries))
+        rounds = []
+        max_neighbours = max((len(entries) for _, entries in per_landmark), default=0)
+        for r in range(max_neighbours):
+            slice_r = [
+                (column, entries[r][0], entries[r][1])
+                for column, entries in per_landmark
+                if len(entries) > r
+            ]
+            destinations = np.array([item[0] for item in slice_r], dtype=np.intp)
+            sources = np.array([item[1] for item in slice_r], dtype=np.intp)
+            weights = np.array([item[2] for item in slice_r], dtype=np.float64)
+            rounds.append((destinations, sources, weights))
+        self._rounds = rounds
+        self._rounds_key = key
+        return rounds
 
     # ----------------------------------------------------------------- reads
     def completed_matrix(self) -> np.ndarray:

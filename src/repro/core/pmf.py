@@ -129,32 +129,32 @@ class ProbabilisticMatrixFactorization:
             rows, cols = np.nonzero(mask)
             values = matrix[rows, cols]
 
-            def objective(w: np.ndarray, l: np.ndarray) -> float:
-                errors = values - np.einsum("ij,ij->j", w[:, rows], l[:, cols])
+            def objective(w: np.ndarray, lm: np.ndarray) -> float:
+                errors = values - np.einsum("ij,ij->j", w[:, rows], lm[:, cols])
                 return float(
                     errors @ errors
                     + self.regularization_workers * (w**2).sum()
-                    + self.regularization_landmarks * (l**2).sum()
+                    + self.regularization_landmarks * (lm**2).sum()
                 )
 
-            def gradients(w: np.ndarray, l: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-                errors = values - np.einsum("ij,ij->j", w[:, rows], l[:, cols])
+            def gradients(w: np.ndarray, lm: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                errors = values - np.einsum("ij,ij->j", w[:, rows], lm[:, cols])
                 scattered_w, scattered_l = self._scatter_error_products(
-                    errors, rows, cols, w, l, matrix.shape
+                    errors, rows, cols, w, lm, matrix.shape
                 )
                 gradient_w = -2.0 * scattered_w + 2.0 * self.regularization_workers * w
-                gradient_l = -2.0 * scattered_l + 2.0 * self.regularization_landmarks * l
+                gradient_l = -2.0 * scattered_l + 2.0 * self.regularization_landmarks * lm
                 return gradient_w, gradient_l
 
         else:
 
-            def objective(w: np.ndarray, l: np.ndarray) -> float:
-                return self._objective(matrix, mask, w, l)
+            def objective(w: np.ndarray, lm: np.ndarray) -> float:
+                return self._objective(matrix, mask, w, lm)
 
-            def gradients(w: np.ndarray, l: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-                error = np.where(mask, matrix - w.T @ l, 0.0)
-                gradient_w = -2.0 * (l @ error.T) + 2.0 * self.regularization_workers * w
-                gradient_l = -2.0 * (w @ error) + 2.0 * self.regularization_landmarks * l
+            def gradients(w: np.ndarray, lm: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                error = np.where(mask, matrix - w.T @ lm, 0.0)
+                gradient_w = -2.0 * (lm @ error.T) + 2.0 * self.regularization_workers * w
+                gradient_l = -2.0 * (w @ error) + 2.0 * self.regularization_landmarks * lm
                 return gradient_w, gradient_l
 
         learning_rate = self.learning_rate

@@ -15,7 +15,7 @@ when a single route remains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import TaskGenerationError

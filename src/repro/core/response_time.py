@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
 
 from ..exceptions import WorkerSelectionError
 from .worker import Worker

@@ -8,8 +8,8 @@ worker's own route-recommendation requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from .task import TaskResult

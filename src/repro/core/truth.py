@@ -11,8 +11,8 @@ which is the main lever the paper uses to keep crowdsourcing cost down.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import TruthStoreError
@@ -47,10 +47,24 @@ class TruthDatabase:
         self.network = network
         self.config = config
         self._truths: Dict[int, VerifiedTruth] = {}
-        self._origin_index: GridIndex[int] = GridIndex(cell_size=max(200.0, config.truth_reuse_radius_m))
+        cell_size = max(200.0, config.truth_reuse_radius_m)
+        self._origin_index: GridIndex[int] = GridIndex(cell_size=cell_size)
+        # Second index over destinations: od lookups intersect the two radius
+        # queries instead of scanning every origin match with a Python-level
+        # distance check.
+        self._destination_index: GridIndex[int] = GridIndex(cell_size=cell_size)
 
     def __len__(self) -> int:
         return len(self._truths)
+
+    @property
+    def reuse_cell_size_m(self) -> float:
+        """Grid cell size of the endpoint indexes (floored reuse radius).
+
+        Batch planning quantises od-pairs at this resolution so its groups
+        stay aligned with the truth store's spatial granularity.
+        """
+        return self._origin_index.cell_size
 
     # ------------------------------------------------------------------ time
     def time_slot_of(self, departure_time_s: float) -> int:
@@ -80,6 +94,7 @@ class TruthDatabase:
         )
         self._truths[truth.truth_id] = truth
         self._origin_index.insert(truth.truth_id, truth.origin)
+        self._destination_index.insert(truth.truth_id, truth.destination)
         return truth
 
     # ------------------------------------------------------------------ read
@@ -102,12 +117,15 @@ class TruthDatabase:
         destination = self.network.node_location(query.destination)
         slot = self.time_slot_of(query.departure_time_s)
         radius = self.config.truth_reuse_radius_m
+        near_destination = {
+            truth_id for truth_id, _ in self._destination_index.within_radius(destination, radius)
+        }
         matches: List[Tuple[float, VerifiedTruth]] = []
         for truth_id, origin_distance in self._origin_index.within_radius(origin, radius):
+            if truth_id not in near_destination:
+                continue
             truth = self._truths[truth_id]
             if truth.time_slot != slot:
-                continue
-            if truth.destination.distance_to(destination) > radius:
                 continue
             matches.append((origin_distance, truth))
         if not matches:
@@ -125,13 +143,20 @@ class TruthDatabase:
         """Truths whose endpoints are within ``radius_m`` of the given points.
 
         Used by the route-evaluation component to compute confidence scores
-        from previously verified knowledge in the neighbourhood.
+        from previously verified knowledge in the neighbourhood.  Both
+        endpoint conditions are grid-index radius queries (the index's
+        boundary decisions agree exactly with ``Point.distance_to``), so the
+        result — still ranked by origin distance — matches the former
+        per-truth Python distance filter.
         """
+        near_destination = {
+            truth_id for truth_id, _ in self._destination_index.within_radius(destination, radius_m)
+        }
         results = []
         for truth_id, _ in self._origin_index.within_radius(origin, radius_m):
-            truth = self._truths[truth_id]
-            if truth.destination.distance_to(destination) > radius_m:
+            if truth_id not in near_destination:
                 continue
+            truth = self._truths[truth_id]
             if time_slot is not None and truth.time_slot != time_slot:
                 continue
             results.append(truth)

@@ -13,7 +13,7 @@ landmark perfectly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import WorkerSelectionError

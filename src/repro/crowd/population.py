@@ -13,7 +13,7 @@ worker selection recovers the former from the latter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..exceptions import ConfigurationError
 from ..roadnet.graph import RoadNetwork

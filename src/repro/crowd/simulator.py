@@ -6,12 +6,25 @@ answer from the worker's :class:`~repro.crowd.behavior.AnswerBehaviorModel`
 (against the ground-truth driver-preferred route), samples a response time
 from the worker's exponential rate, and returns the responses in arrival
 order — which is what makes early stopping meaningful.
+
+The default path is *batched*: the behaviour model is evaluated once per
+worker over the task's full landmark set (a single vectorized accuracy
+computation) instead of once per question, and the question landmarks' anchors
+and truth flags are resolved once per task instead of once per (worker,
+question).  The original question-by-question path is preserved as
+:meth:`SimulatedCrowd.collect_responses_sequential` — the oracle the batched
+path is benchmarked and equivalence-tested against.  Both paths consume the
+task's derived RNG in the identical order (one uniform draw plus one
+exponential draw per question, workers in assignment order), so they return
+identical responses.
 """
 
 from __future__ import annotations
 
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.planner import CrowdBackend
 from ..core.task import Answer, Task, WorkerResponse
@@ -24,7 +37,13 @@ from ..utils.rng import derive_rng
 from .behavior import AnswerBehaviorModel
 
 GroundTruthProvider = Callable[[RouteQuery], Sequence[int]]
-"""Maps a query to the ground-truth driver-preferred node path."""
+"""Maps a query to the ground-truth driver-preferred node path.
+
+Providers must be pure (the same query always yields the same path): the
+batched simulation caches each query's calibrated truth-landmark set, so a
+provider whose answer drifts mid-run would desynchronise the batched path
+from the sequential oracle.
+"""
 
 
 class SimulatedCrowd(CrowdBackend):
@@ -45,6 +64,10 @@ class SimulatedCrowd(CrowdBackend):
         Accuracy model; defaults to :class:`AnswerBehaviorModel`.
     seed:
         Seed for answer sampling and response times.
+    batched:
+        When true (the default) each worker's answer accuracies are computed
+        in one vectorized behaviour-model evaluation over the task's landmark
+        set; ``False`` routes every call through the sequential oracle.
     """
 
     def __init__(
@@ -55,6 +78,7 @@ class SimulatedCrowd(CrowdBackend):
         ground_truth: GroundTruthProvider,
         behavior: Optional[AnswerBehaviorModel] = None,
         seed: int = 37,
+        batched: bool = True,
     ):
         self.pool = pool
         self.catalog = catalog
@@ -62,13 +86,56 @@ class SimulatedCrowd(CrowdBackend):
         self.ground_truth = ground_truth
         self.behavior = behavior or AnswerBehaviorModel()
         self.seed = seed
+        self.batched = batched
         self._task_counter = 0
+        # Per-query ground-truth landmark sets (batched path only).  The
+        # ground-truth provider is deterministic per query, so calibrating its
+        # route once per od-pair instead of once per task removes the
+        # dominant shared cost when the experiment harness re-queries hot
+        # od-pairs.
+        self._truth_cache: Dict[Tuple[int, int, float], frozenset] = {}
 
     # ------------------------------------------------------------- interface
     def collect_responses(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
         """Simulate every assigned worker and return responses in arrival order."""
         if not worker_ids:
             raise CrowdPlannerError("collect_responses called with no workers")
+        if not self.batched:
+            return self._collect_sequential(task, worker_ids)
+        self._task_counter += 1
+        rng = derive_rng(self.seed, f"task-{task.task_id}-{self._task_counter}")
+        truth_landmarks = self._cached_truth_landmarks(task.query)
+
+        # One pass over the question tree resolves every questioned landmark's
+        # anchor and truth flag for the whole task.
+        question_landmarks = self._question_landmarks(task)
+        anchors = [self.catalog.get(lid).anchor for lid in question_landmarks]
+        xs = np.array([anchor.x for anchor in anchors], dtype=np.float64)
+        ys = np.array([anchor.y for anchor in anchors], dtype=np.float64)
+        position = {lid: i for i, lid in enumerate(question_landmarks)}
+        truthful = [lid in truth_landmarks for lid in question_landmarks]
+        max_questions = max(1, task.max_questions())
+
+        workers = [self.pool.get(worker_id) for worker_id in worker_ids]
+        accuracy_matrix = self.behavior.answer_accuracies_matrix(workers, xs, ys)
+        responses = []
+        for worker, row in zip(workers, accuracy_matrix):
+            responses.append(
+                self._walk_tree(task, worker, rng, position, truthful, row.tolist(), max_questions)
+            )
+        responses.sort(key=lambda response: (response.total_response_time_s, response.worker_id))
+        return responses
+
+    def collect_responses_sequential(
+        self, task: Task, worker_ids: Sequence[int]
+    ) -> List[WorkerResponse]:
+        """The original question-by-question simulation (the batched oracle)."""
+        if not worker_ids:
+            raise CrowdPlannerError("collect_responses called with no workers")
+        return self._collect_sequential(task, worker_ids)
+
+    # -------------------------------------------------------------- internal
+    def _collect_sequential(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
         self._task_counter += 1
         rng = derive_rng(self.seed, f"task-{task.task_id}-{self._task_counter}")
         truth_landmarks = self._ground_truth_landmarks(task.query)
@@ -79,12 +146,84 @@ class SimulatedCrowd(CrowdBackend):
         responses.sort(key=lambda response: (response.total_response_time_s, response.worker_id))
         return responses
 
-    # -------------------------------------------------------------- internal
+    @staticmethod
+    def _question_landmarks(task: Task) -> List[int]:
+        """Landmark ids questioned anywhere in the task's tree, in first-seen
+        preorder (deduplicated)."""
+        seen: Dict[int, None] = {}
+        stack = [task.question_tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            seen.setdefault(node.landmark_id, None)
+            stack.append(node.no_child)
+            stack.append(node.yes_child)
+        return list(seen)
+
     def _ground_truth_landmarks(self, query: RouteQuery) -> frozenset:
         path = list(self.ground_truth(query))
         if len(path) < 2:
             raise CrowdPlannerError("ground-truth provider returned an invalid path")
         return frozenset(self.calibrator.calibrate_path(path))
+
+    def _cached_truth_landmarks(self, query: RouteQuery) -> frozenset:
+        key = (query.origin, query.destination, query.departure_time_s)
+        cached = self._truth_cache.get(key)
+        if cached is None:
+            if len(self._truth_cache) >= 4096:
+                self._truth_cache.clear()
+            cached = self._ground_truth_landmarks(query)
+            self._truth_cache[key] = cached
+        return cached
+
+    def _walk_tree(
+        self,
+        task: Task,
+        worker,
+        rng: random.Random,
+        position: Dict[int, int],
+        truthful: List[bool],
+        accuracies: List[float],
+        max_questions: int,
+    ) -> WorkerResponse:
+        """Tree walk over precomputed per-landmark accuracy and truth tables.
+
+        Consumes the RNG exactly like :meth:`_simulate_worker`: one uniform
+        draw (the answer) then one exponential draw (the per-question time)
+        per question, in traversal order.
+        """
+        node = task.question_tree.root
+        answers: List[Answer] = []
+        per_question_time = 1.0 / max(worker.response_rate, 1e-9) / max_questions
+        total_time = 0.0
+        while not node.is_leaf:
+            landmark_id = node.landmark_id
+            index = position[landmark_id]
+            truthful_answer = truthful[index]
+            if rng.random() < accuracies[index]:
+                says_yes = truthful_answer
+            else:
+                says_yes = not truthful_answer
+            elapsed = rng.expovariate(1.0 / per_question_time) if per_question_time > 0 else 0.0
+            total_time += elapsed
+            answers.append(
+                Answer(
+                    worker_id=worker.worker_id,
+                    landmark_id=landmark_id,
+                    says_yes=says_yes,
+                    response_time_s=elapsed,
+                )
+            )
+            node = node.yes_child if says_yes else node.no_child
+        decided = node.decided_route
+        chosen_index = task.route_index(decided)
+        return WorkerResponse(
+            worker_id=worker.worker_id,
+            answers=answers,
+            chosen_route_index=chosen_index,
+            total_response_time_s=total_time,
+        )
 
     def _simulate_worker(
         self,

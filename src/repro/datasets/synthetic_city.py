@@ -17,11 +17,10 @@ run is reproducible from a single seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
-from ..core.familiarity import FamiliarityModel
 from ..core.planner import CrowdPlanner
 from ..core.worker import WorkerPool
 from ..crowd.behavior import AnswerBehaviorModel

@@ -19,9 +19,8 @@ from typing import Dict, List, Optional
 
 from ..datasets.synthetic_city import Scenario
 from ..exceptions import CrowdPlannerError, RoutingError
-from ..routing.base import RouteQuery
 from ..utils.stats import mean
-from .metrics import ExperimentResult, exact_match, route_quality, route_similarity
+from .metrics import ExperimentResult, exact_match, route_quality
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,8 @@ would pass the TR module's agreement check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..config import DEFAULT_CONFIG
 from ..datasets.synthetic_city import Scenario
 from ..routing.base import CandidateRoute
 from ..utils.stats import mean, pairs

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..config import PlannerConfig
 from ..core.aggregation import AnswerAggregator
 from ..core.early_stop import EarlyStopMonitor
 from ..core.familiarity import FamiliarityModel

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..core.landmark_selection import GreedySelector, IncrementalLandmarkSelector, objective_value
+from ..core.landmark_selection import GreedySelector, IncrementalLandmarkSelector
 from ..core.question_ordering import build_question_tree
 from ..core.route import LandmarkRoute, beneficial_landmarks
 from ..utils.rng import derive_rng

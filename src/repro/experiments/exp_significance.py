@@ -11,7 +11,7 @@ correlates with the latent attractiveness that actually generated the visits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

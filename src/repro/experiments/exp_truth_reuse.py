@@ -10,7 +10,7 @@ truth hit rate and the number of crowd tasks issued.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..datasets.synthetic_city import Scenario
 from ..datasets.workloads import QueryWorkloadConfig, generate_query_workload

@@ -11,9 +11,8 @@ the driver-preferred route.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.aggregation import AnswerAggregator
 from ..core.familiarity import FamiliarityModel
@@ -21,8 +20,7 @@ from ..core.task import Task
 from ..core.task_generation import TaskGenerator
 from ..core.worker_selection import WorkerSelector
 from ..datasets.synthetic_city import Scenario
-from ..exceptions import CrowdPlannerError, TaskGenerationError, WorkerSelectionError
-from ..routing.base import RouteQuery
+from ..exceptions import TaskGenerationError, WorkerSelectionError
 from ..utils.rng import derive_rng
 from ..utils.stats import mean
 from .metrics import ExperimentResult, route_quality

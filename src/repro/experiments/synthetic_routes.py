@@ -9,8 +9,7 @@ distinguishable.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.route import LandmarkRoute
 from ..routing.base import CandidateRoute

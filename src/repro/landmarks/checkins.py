@@ -13,14 +13,14 @@ paper's pipeline shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..spatial import BoundingBox, Point
 from ..utils.rng import derive_rng
 from ..utils.stats import weighted_choice
 from .generator import intrinsic_attractiveness
-from .model import Landmark, LandmarkCatalog
+from .model import LandmarkCatalog
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,8 @@ taxi visits (Section III-A).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..exceptions import LandmarkError
 from ..spatial import GridIndex, Point
@@ -77,9 +77,20 @@ class LandmarkCatalog:
     def __init__(self, landmarks: Optional[Iterable[Landmark]] = None, cell_size: float = 400.0):
         self._landmarks: Dict[int, Landmark] = {}
         self._index: GridIndex[int] = GridIndex(cell_size=cell_size)
+        self._version = 0
         if landmarks:
             for landmark in landmarks:
                 self.add(landmark)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation.
+
+        Consumers that precompute neighbourhood structures over the catalogue
+        (e.g. the familiarity model's accumulation weights) cache against this
+        counter, mirroring :attr:`repro.roadnet.graph.RoadNetwork.version`.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._landmarks)
@@ -92,6 +103,7 @@ class LandmarkCatalog:
 
     def add(self, landmark: Landmark) -> None:
         """Add or replace a landmark."""
+        self._version += 1
         self._landmarks[landmark.landmark_id] = landmark
         self._index.insert(landmark.landmark_id, landmark.anchor)
 

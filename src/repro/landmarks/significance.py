@@ -16,9 +16,8 @@ trajectories passing near the landmark.  Scores are normalised to [0, 1].
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +63,6 @@ class SignificanceInference:
         for traveller, landmark in edges:
             matrix[traveller_index[traveller], landmark_index[landmark]] += 1.0
 
-        authority = np.ones(len(travellers))
         hub = np.ones(len(landmarks))
         for _ in range(self.max_iterations):
             new_authority = matrix @ hub
@@ -76,9 +74,9 @@ class SignificanceInference:
             if norm_h > 0:
                 new_hub = new_hub / norm_h
             if np.abs(new_hub - hub).sum() < self.tolerance:
-                authority, hub = new_authority, new_hub
+                hub = new_hub
                 break
-            authority, hub = new_authority, new_hub
+            hub = new_hub
 
         top = hub.max()
         if top <= 0:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -113,6 +113,7 @@ class CompiledGraph:
             METRIC_LENGTH: lengths,
             METRIC_TIME: times,
         }
+        self._metric_tokens: Dict[str, object] = {}
         self._metric_adjacency: Dict[str, List[List[Tuple[float, int, int]]]] = {}
         self._arrays: Optional[Dict[str, np.ndarray]] = None
         self._state_pool: List[_SearchState] = []
@@ -135,6 +136,56 @@ class CompiledGraph:
                 f"unknown cost metric {metric!r}; expected one of "
                 f"{sorted(self._metric_costs)}"
             ) from None
+
+    def has_metric(self, metric: str) -> bool:
+        """Whether ``metric`` names a built-in or registered cost vector."""
+        return metric in self._metric_costs
+
+    def metric_token(self, metric: str) -> Optional[object]:
+        """The freshness token a registered metric was stored under.
+
+        Consumers that compile derived cost vectors (e.g. the transfer
+        network's popularity costs) record the state of their inputs here and
+        compare before reuse, so a stale vector is replaced instead of served.
+        Built-in metrics and unknown names return ``None``.
+        """
+        return self._metric_tokens.get(metric)
+
+    def register_metric(self, metric: str, costs: Sequence[float], token: object = None) -> None:
+        """Register (or replace) a named per-edge cost vector in CSR order.
+
+        The vector becomes resolvable everywhere a metric name is accepted
+        (``dijkstra_path(..., cost="popularity#1")``) and its relaxation lists
+        are cached across searches exactly like the built-in metrics.  Costs
+        must be non-negative (``inf`` is allowed — it marks an edge as
+        effectively untraversable) and cover every edge.  Re-registering a
+        name replaces the vector and drops its cached relaxation lists.
+        """
+        if metric in (METRIC_LENGTH, METRIC_TIME):
+            raise RoadNetworkError(f"cannot replace the built-in metric {metric!r}")
+        vector = [float(value) for value in costs]
+        if len(vector) != self.edge_count:
+            raise RoadNetworkError(
+                f"metric {metric!r} has {len(vector)} costs for {self.edge_count} edges"
+            )
+        for value in vector:
+            if math.isnan(value) or value < 0:
+                raise RoadNetworkError("edge costs must be non-negative")
+        self._metric_costs[metric] = vector
+        self._metric_tokens[metric] = token
+        self._metric_adjacency.pop(metric, None)
+
+    def unregister_metric(self, metric: str) -> None:
+        """Drop a registered metric and its caches (unknown names are a no-op).
+
+        Lets owners of short-lived derived metrics bound the graph's memory;
+        the built-in metrics cannot be removed.
+        """
+        if metric in (METRIC_LENGTH, METRIC_TIME):
+            raise RoadNetworkError(f"cannot remove the built-in metric {metric!r}")
+        self._metric_costs.pop(metric, None)
+        self._metric_tokens.pop(metric, None)
+        self._metric_adjacency.pop(metric, None)
 
     def cost_vector(self, cost) -> List[float]:
         """Evaluate an edge-cost callable once per edge, in CSR order."""

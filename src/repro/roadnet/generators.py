@@ -17,7 +17,6 @@ Both generators are deterministic for a given seed.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 

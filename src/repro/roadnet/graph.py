@@ -10,8 +10,8 @@ intersections in-between", i.e. node paths on this graph.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import RoadNetworkError
 from ..spatial import BoundingBox, GridIndex, Point

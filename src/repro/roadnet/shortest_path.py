@@ -43,15 +43,18 @@ def free_flow_time_cost(edge: RoadEdge) -> float:
 def _metric_vector(compiled: CompiledGraph, cost: CostSpec) -> Optional[List[float]]:
     """The precompiled vector for a named metric, or ``None`` for callables.
 
-    Raises for unresolvable metric name strings, so every cost-spec consumer
-    shares one dispatch (and one error message).
+    Any metric registered on the compiled graph with
+    :meth:`CompiledGraph.register_metric` (e.g. the transfer network's
+    popularity costs) resolves here by name.  Raises for unresolvable metric
+    name strings, so every cost-spec consumer shares one dispatch (and one
+    error message).
     """
     if cost is length_cost or cost == METRIC_LENGTH:
         return compiled.metric_costs(METRIC_LENGTH)
     if cost is free_flow_time_cost or cost == METRIC_TIME:
         return compiled.metric_costs(METRIC_TIME)
     if isinstance(cost, str):
-        raise RoadNetworkError(f"unknown cost metric name {cost!r}")
+        return compiled.metric_costs(cost)
     return None
 
 
@@ -59,9 +62,11 @@ def resolve_cost_vector(compiled: CompiledGraph, cost: CostSpec) -> Tuple[List[f
     """Resolve a cost spec to ``(per-edge cost vector in CSR order, is_metric)``.
 
     The canonical callables and their metric names hit vectors precomputed at
-    compile time (``is_metric=True`` — known non-negative, since edge lengths
-    and speeds are validated positive at construction); any other callable is
-    evaluated once per edge and must be range-checked by the caller.
+    compile time, and registered metric names hit vectors stored by
+    :meth:`CompiledGraph.register_metric` (``is_metric=True`` — known
+    non-negative, since built-in metrics are validated positive at
+    construction and registered vectors at registration); any other callable
+    is evaluated once per edge and must be range-checked by the caller.
     """
     vector = _metric_vector(compiled, cost)
     if vector is not None:

@@ -10,7 +10,7 @@ time, plus traffic-light waiting penalties.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..exceptions import ConfigurationError

@@ -69,6 +69,7 @@ class CandidateRoute:
         object.__setattr__(self, "source", source)
         object.__setattr__(self, "support", int(support))
         object.__setattr__(self, "metadata", dict(metadata or {}))
+        object.__setattr__(self, "_edge_signature", None)
 
     @property
     def origin(self) -> int:
@@ -88,7 +89,22 @@ class CandidateRoute:
 
     def edge_set(self) -> set:
         """The set of directed edges the route uses (for similarity measures)."""
-        return set(zip(self.path, self.path[1:]))
+        return set(self.edge_signature())
+
+    def edge_signature(self) -> frozenset:
+        """The route's directed edge set as a cached frozenset.
+
+        Similarity is computed many times per route (agreement checks compare
+        every candidate pair; confidence scoring compares every candidate
+        against every nearby verified truth), so the set is built once per
+        route instead of once per comparison.  The path is immutable, which
+        makes the cache safe.
+        """
+        signature = self._edge_signature
+        if signature is None:
+            signature = frozenset(zip(self.path, self.path[1:]))
+            object.__setattr__(self, "_edge_signature", signature)
+        return signature
 
     def similarity_to(self, other: "CandidateRoute") -> float:
         """Jaccard similarity of the two routes' edge sets.
@@ -97,8 +113,8 @@ class CandidateRoute:
         is the agreement measure the TR module uses to decide whether
         candidate routes "agree with each other to a high degree".
         """
-        mine = self.edge_set()
-        theirs = other.edge_set()
+        mine = self.edge_signature()
+        theirs = other.edge_signature()
         if not mine and not theirs:
             return 1.0
         union = mine | theirs
@@ -128,3 +144,13 @@ class RouteSource(abc.ABC):
             return self.recommend(query)
         except RoutingError:
             return None
+
+    def prepare_batch(self, queries: Sequence[RouteQuery]) -> None:
+        """Hook called once before a batch of queries is answered.
+
+        Sources that amortise per-state work across queries (e.g. the MPR
+        miner compiling its popularity cost vector) override this; the
+        default is a no-op.  Implementations must not change what
+        :meth:`recommend` returns for any individual query — batching is a
+        performance channel, never a semantic one.
+        """

@@ -12,7 +12,7 @@ excellent when a true local exists and idiosyncratic when it does not.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..exceptions import InsufficientSupportError, RoutingError
 from ..roadnet.graph import RoadNetwork

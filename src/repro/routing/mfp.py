@@ -11,7 +11,7 @@ possibility to give the best route" among the mining baselines.
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from ..exceptions import InsufficientSupportError, RoutingError
 from ..roadnet.graph import RoadNetwork

@@ -5,18 +5,28 @@ counts and node transition probabilities, following the construction used by
 popular-route mining work (Chen et al. [4], Wei et al. [23]).  Both MPR and
 MFP operate on it; building it once per trajectory store and reusing it keeps
 the miners cheap.
+
+Popularity-guided routing needs the ``-log(P)`` cost of every road edge.  The
+original path evaluated :meth:`TransferNetwork.edge_popularity_cost` through a
+Python closure once per Dijkstra relaxation; :meth:`compiled_cost_metric`
+instead compiles the full per-edge cost vector once and registers it on the
+road network's :class:`~repro.roadnet.compiled.CompiledGraph`, keyed by the
+transfer network's ``version``, so repeated popularity searches reuse both the
+vector and its cached relaxation lists.  The scalar methods are retained as
+the oracle the compiled vector is tested against.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..exceptions import RoutingError
 from ..roadnet.graph import RoadNetwork
-from ..spatial import Point
 from ..trajectory.storage import TrajectoryStore
+
+_transfer_uids = itertools.count(1)
 
 
 class TransferNetwork:
@@ -25,6 +35,8 @@ class TransferNetwork:
     def __init__(self, network: RoadNetwork, store: TrajectoryStore):
         self.network = network
         self.store = store
+        self._uid = next(_transfer_uids)
+        self._version = 0
         self._edge_counts: Dict[Tuple[int, int], int] = defaultdict(int)
         self._node_out_counts: Dict[int, int] = defaultdict(int)
         self._node_counts: Dict[int, int] = defaultdict(int)
@@ -33,13 +45,43 @@ class TransferNetwork:
 
     def _build(self) -> None:
         for trajectory_id in self.store.all_ids():
-            path = self.store.matched_path(trajectory_id)
-            self._total_trajectories += 1
-            for node in path:
-                self._node_counts[node] += 1
-            for source, target in zip(path, path[1:]):
-                self._edge_counts[(source, target)] += 1
-                self._node_out_counts[source] += 1
+            self._ingest(self.store.matched_path(trajectory_id))
+
+    def _ingest(self, path: Sequence[int]) -> None:
+        self._total_trajectories += 1
+        for node in path:
+            self._node_counts[node] += 1
+        for source, target in zip(path, path[1:]):
+            self._edge_counts[(source, target)] += 1
+            self._node_out_counts[source] += 1
+
+    # --------------------------------------------------------------- updates
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the traversal statistics change.
+
+        Compiled popularity cost vectors are cached against this counter, so
+        ingesting new history invalidates them automatically.
+        """
+        return self._version
+
+    def ingest_path(self, path: Sequence[int]) -> None:
+        """Fold one additional matched node path into the statistics.
+
+        Lets a live deployment keep the transfer network warm as new
+        trajectories arrive, without rebuilding from the whole store.
+        """
+        self._ingest(path)
+        self._version += 1
+
+    def refresh(self) -> None:
+        """Rebuild the statistics from the backing store from scratch."""
+        self._edge_counts.clear()
+        self._node_out_counts.clear()
+        self._node_counts.clear()
+        self._total_trajectories = 0
+        self._build()
+        self._version += 1
 
     # ------------------------------------------------------------------ stats
     @property
@@ -73,6 +115,31 @@ class TransferNetwork:
         if probability <= 0:
             return float("inf")
         return -math.log(probability)
+
+    def compiled_cost_metric(self, network: RoadNetwork, smoothing: float = 0.1) -> str:
+        """Compile the popularity costs into a metric on the compiled graph.
+
+        Returns the metric name to pass as the ``cost`` of
+        :func:`~repro.roadnet.shortest_path.dijkstra_path`.  The per-edge
+        vector is computed with :meth:`edge_popularity_cost` (so every entry
+        is bit-identical to what the former per-relaxation closure produced)
+        and registered once per ``(transfer version, smoothing)`` state; both
+        graph mutation (a fresh compiled view) and statistic updates (a new
+        ``version``) trigger recompilation.
+        """
+        compiled = network.compiled()
+        # One metric name per transfer network: smoothing lives in the
+        # freshness token, so changing it replaces the vector instead of
+        # accumulating one entry per (uid, smoothing) pair on the graph.
+        metric = f"popularity#{self._uid}"
+        token = (self._version, smoothing)
+        if not compiled.has_metric(metric) or compiled.metric_token(metric) != token:
+            costs = [
+                self.edge_popularity_cost(edge.source, edge.target, smoothing)
+                for edge in compiled.edge_records
+            ]
+            compiled.register_metric(metric, costs, token=token)
+        return metric
 
     def coverage(self) -> float:
         """Fraction of road-network edges traversed by at least one trajectory."""

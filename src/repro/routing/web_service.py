@@ -15,12 +15,7 @@ from typing import Optional
 
 from ..exceptions import RoutingError
 from ..roadnet.graph import RoadNetwork
-from ..roadnet.shortest_path import (
-    dijkstra_path,
-    k_shortest_paths,
-    length_cost,
-    path_cost,
-)
+from ..roadnet.shortest_path import dijkstra_path, k_shortest_paths, length_cost
 from ..roadnet.travel_time import TravelTimeModel
 from .base import CandidateRoute, RouteQuery, RouteSource
 

@@ -9,7 +9,7 @@ sequence of landmark ids whose anchor region the route touches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..exceptions import CalibrationError
 from ..landmarks.model import Landmark

@@ -22,14 +22,13 @@ experiments use as the gold standard when scoring recommendation sources.
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError, NoPathError
 from ..roadnet.graph import RoadClass, RoadEdge, RoadNetwork
-from ..roadnet.shortest_path import dijkstra_path, k_shortest_paths, path_cost
+from ..roadnet.shortest_path import dijkstra_path, k_shortest_paths
 from ..roadnet.travel_time import TravelTimeModel
 from ..spatial import Point, Polyline
 from ..utils.rng import derive_rng

@@ -9,7 +9,7 @@ lets experiments compare mined routes against the ground-truth driver choice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..exceptions import TrajectoryError
 from ..spatial import BoundingBox, Point, route_length

@@ -8,7 +8,7 @@ by origin/destination proximity and by departure-time slot.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import TrajectoryError
 from ..roadnet.graph import RoadNetwork

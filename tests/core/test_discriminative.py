@@ -57,6 +57,8 @@ class TestEdgeCases:
 
 
 class TestProperties:
+    pytestmark = [pytest.mark.property]
+
     @settings(max_examples=60, deadline=None)
     @given(
         st.lists(

@@ -1,0 +1,66 @@
+"""Vectorized familiarity accumulation: bit-identical to the sequential
+oracle across seeds, with the neighbour structure cached per catalogue
+version."""
+
+import numpy as np
+import pytest
+
+from repro.core.familiarity import FamiliarityModel
+from repro.landmarks.model import Landmark, LandmarkKind
+from repro.spatial import Point
+
+
+@pytest.fixture()
+def model(scenario):
+    return FamiliarityModel(scenario.worker_pool, scenario.catalog)
+
+
+class TestAccumulateEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 23, 101])
+    def test_bit_identical_on_random_matrices(self, model, seed):
+        rng = np.random.default_rng(seed)
+        completed = rng.random((len(model.worker_ids), len(model.landmark_ids)))
+        vectorized = model._accumulate(completed)
+        reference = model._accumulate_reference(completed)
+        assert np.array_equal(vectorized, reference)
+
+    @pytest.mark.parametrize("use_pmf", [True, False])
+    def test_bit_identical_through_fit(self, scenario, use_pmf):
+        model = FamiliarityModel(scenario.worker_pool, scenario.catalog)
+        accumulated = model.fit(use_pmf=use_pmf)
+        assert np.array_equal(accumulated, model._accumulate_reference(model.completed_matrix()))
+
+    def test_zero_matrix_stays_zero(self, model):
+        completed = np.zeros((len(model.worker_ids), len(model.landmark_ids)))
+        assert not model._accumulate(completed).any()
+
+
+class TestStructureCache:
+    def test_rounds_cached_between_calls(self, model):
+        first = model._accumulation_rounds()
+        assert model._accumulation_rounds() is first
+
+    def test_catalog_mutation_invalidates(self, scenario):
+        # A private catalogue copy so mutating it cannot leak into the
+        # session-scoped scenario.
+        from repro.landmarks.model import LandmarkCatalog
+
+        catalog = LandmarkCatalog(scenario.catalog.all())
+        model = FamiliarityModel(scenario.worker_pool, catalog)
+        rng = np.random.default_rng(3)
+        completed = rng.random((len(model.worker_ids), len(model.landmark_ids)))
+        stale_rounds = model._accumulation_rounds()
+
+        # Moving an existing landmark changes the neighbourhood geometry
+        # without changing the id set the model was built over.
+        moved = catalog.get(model.landmark_ids[0])
+        catalog.add(
+            Landmark(
+                landmark_id=moved.landmark_id,
+                name=moved.name,
+                kind=LandmarkKind.POINT,
+                anchor=Point(moved.anchor.x + 5_000.0, moved.anchor.y + 5_000.0),
+            )
+        )
+        assert model._accumulation_rounds() is not stale_rounds
+        assert np.array_equal(model._accumulate(completed), model._accumulate_reference(completed))

@@ -129,6 +129,8 @@ def distinguishable_route_sets(draw):
 
 
 class TestSelectorAgreementProperty:
+    pytestmark = [pytest.mark.property, pytest.mark.slow]
+
     @settings(max_examples=40, deadline=None)
     @given(distinguishable_route_sets())
     def test_greedy_and_ils_match_brute_force(self, data):

@@ -1,0 +1,120 @@
+"""Batched crowd simulation: responses identical to the sequential oracle
+across seeds, plus the vectorized behaviour-model evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.task_generation import TaskGenerator
+from repro.crowd.simulator import SimulatedCrowd
+from repro.exceptions import TaskGenerationError
+
+
+@pytest.fixture(scope="module")
+def crowd_tasks(scenario):
+    generator = TaskGenerator(scenario.calibrator, scenario.catalog)
+    tasks = []
+    for query in scenario.sample_queries(40, seed=733):
+        candidates = []
+        seen = set()
+        for source in scenario.sources:
+            candidate = source.recommend_or_none(query)
+            if candidate is None or candidate.path in seen:
+                continue
+            seen.add(candidate.path)
+            candidates.append(candidate)
+        if len(candidates) < 2:
+            continue
+        try:
+            tasks.append(generator.generate(query, candidates))
+        except TaskGenerationError:
+            continue
+        if len(tasks) >= 5:
+            break
+    if not tasks:
+        pytest.skip("no crowd task could be generated")
+    return tasks
+
+
+def _fresh_crowd(scenario, seed, batched=True):
+    return SimulatedCrowd(
+        pool=scenario.worker_pool,
+        catalog=scenario.catalog,
+        calibrator=scenario.calibrator,
+        ground_truth=scenario.crowd.ground_truth,
+        behavior=scenario.crowd.behavior,
+        seed=seed,
+        batched=batched,
+    )
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("seed", [1, 42, 97])
+    def test_responses_identical_across_seeds(self, scenario, crowd_tasks, seed):
+        worker_ids = scenario.worker_pool.ids()
+        batched = _fresh_crowd(scenario, seed)
+        sequential = _fresh_crowd(scenario, seed)
+        for task in crowd_tasks:
+            assert batched.collect_responses(task, worker_ids) == (
+                sequential.collect_responses_sequential(task, worker_ids)
+            )
+
+    def test_batched_false_uses_sequential_path(self, scenario, crowd_tasks):
+        worker_ids = scenario.worker_pool.ids()[:6]
+        plain = _fresh_crowd(scenario, 5, batched=False)
+        oracle = _fresh_crowd(scenario, 5)
+        task = crowd_tasks[0]
+        assert plain.collect_responses(task, worker_ids) == (
+            oracle.collect_responses_sequential(task, worker_ids)
+        )
+
+    def test_subset_of_workers(self, scenario, crowd_tasks):
+        worker_ids = scenario.worker_pool.ids()[:3]
+        batched = _fresh_crowd(scenario, 11)
+        sequential = _fresh_crowd(scenario, 11)
+        for task in crowd_tasks:
+            assert batched.collect_responses(task, worker_ids) == (
+                sequential.collect_responses_sequential(task, worker_ids)
+            )
+
+    def test_truth_cache_reused_across_tasks_for_same_query(self, scenario, crowd_tasks):
+        crowd = _fresh_crowd(scenario, 13)
+        task = crowd_tasks[0]
+        crowd.collect_responses(task, scenario.worker_pool.ids()[:2])
+        assert len(crowd._truth_cache) == 1
+        crowd.collect_responses(task, scenario.worker_pool.ids()[:2])
+        assert len(crowd._truth_cache) == 1
+
+
+class TestVectorizedAccuracies:
+    def test_matches_scalar_model(self, scenario):
+        behavior = scenario.crowd.behavior
+        landmarks = scenario.catalog.all()[:25]
+        xs = np.array([landmark.anchor.x for landmark in landmarks])
+        ys = np.array([landmark.anchor.y for landmark in landmarks])
+        for worker in scenario.worker_pool.workers()[:10]:
+            vectorized = behavior.answer_accuracies(worker, xs, ys)
+            scalar = [behavior.answer_accuracy(worker, lm.anchor) for lm in landmarks]
+            # np.hypot may differ from math.hypot in the final ulp, so the
+            # comparison allows that window (the response-level tests above
+            # pin exact equality).
+            np.testing.assert_allclose(vectorized, scalar, rtol=1e-12, atol=0.0)
+
+    def test_matrix_rows_match_single_worker_path(self, scenario):
+        behavior = scenario.crowd.behavior
+        landmarks = scenario.catalog.all()[:25]
+        xs = np.array([landmark.anchor.x for landmark in landmarks])
+        ys = np.array([landmark.anchor.y for landmark in landmarks])
+        workers = scenario.worker_pool.workers()[:10]
+        matrix = behavior.answer_accuracies_matrix(workers, xs, ys)
+        assert matrix.shape == (len(workers), len(landmarks))
+        for worker, row in zip(workers, matrix):
+            assert np.array_equal(row, behavior.answer_accuracies(worker, xs, ys))
+
+    def test_accuracy_bounds(self, scenario):
+        behavior = scenario.crowd.behavior
+        landmarks = scenario.catalog.all()
+        xs = np.array([landmark.anchor.x for landmark in landmarks])
+        ys = np.array([landmark.anchor.y for landmark in landmarks])
+        matrix = behavior.answer_accuracies_matrix(scenario.worker_pool.workers(), xs, ys)
+        assert (matrix >= behavior.base_accuracy).all()
+        assert (matrix <= behavior.max_accuracy).all()

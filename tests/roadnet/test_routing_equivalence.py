@@ -11,6 +11,10 @@ custom per-edge cost callables.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+# Hypothesis equivalence suite: thorough but the heaviest property coverage,
+# so the default fast tier (scripts/ci.sh) skips it; --all runs it.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
+
 from repro.exceptions import NoPathError
 from repro.roadnet import reference
 from repro.roadnet import shortest_path as fast

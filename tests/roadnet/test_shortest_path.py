@@ -125,6 +125,8 @@ class TestKShortestPaths:
 
 
 class TestAgainstBruteForce:
+    pytestmark = [pytest.mark.property]
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=10**6))
     def test_dijkstra_optimal_on_small_grid(self, seed):

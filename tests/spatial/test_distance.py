@@ -10,6 +10,8 @@ coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
 
 
 class TestProjection:
+    pytestmark = [pytest.mark.property]
+
     def test_projection_onto_interior(self):
         projection, t = project_point_on_segment(Point(5, 5), Point(0, 0), Point(10, 0))
         assert projection == Point(5, 0)

@@ -149,6 +149,8 @@ class TestChurn:
 
 
 class TestAgainstLinearScan:
+    pytestmark = [pytest.mark.property]
+
     @given(point_list, coord, coord)
     @settings(max_examples=50, deadline=None)
     def test_nearest_matches_linear_scan(self, raw_points, qx, qy):

@@ -11,6 +11,8 @@ finite_coord = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
 
 
 class TestPoint:
+    pytestmark = [pytest.mark.property]
+
     def test_distance_to_pythagorean(self):
         assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
 

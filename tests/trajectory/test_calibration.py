@@ -41,6 +41,8 @@ class TestCalibratorBasics:
 
 
 class TestCalibration:
+    pytestmark = [pytest.mark.property]
+
     def test_on_route_landmark_attached_in_order(self, tiny_network):
         landmarks = [
             landmark_at(10, 0, 0),        # at node 0

@@ -20,6 +20,8 @@ from repro.utils.stats import (
 
 
 class TestEmpiricalEntropy:
+    pytestmark = [pytest.mark.property]
+
     def test_uniform_two_classes_is_one_bit(self):
         assert empirical_entropy(["a", "a", "b", "b"]) == pytest.approx(1.0)
 
