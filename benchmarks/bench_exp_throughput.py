@@ -1,0 +1,26 @@
+"""E8 benchmark — sharded serving throughput sweep.
+
+Shape to check: every worker count answers the large-batch workload with
+results identical to the sequential oracle (the engine's correctness
+contract).  Speedup is machine-dependent and intentionally not asserted —
+the dedicated ``crowd_shard`` suite in ``bench_hot_paths.py`` records the
+timing trajectory.
+"""
+
+from repro.experiments import exp_throughput
+from repro.experiments.exp_throughput import ThroughputExperimentConfig
+
+
+def test_e8_throughput(run_once, bench_scenario):
+    result = run_once(
+        lambda: exp_throughput.run(
+            bench_scenario,
+            ThroughputExperimentConfig(worker_counts=(1, 2), num_queries=80, seed=131),
+        ),
+    )
+    print()
+    print(result.to_table())
+    assert result.summary["all_runs_identical_to_sequential"] is True
+    for row in result.rows:
+        assert row["identical_to_sequential"] is True
+        assert row["queries_per_s"] > 0

@@ -1,7 +1,8 @@
 """Hot-path microbenchmarks: compiled routing core vs. reference, spatial
-index queries, sparse vs. dense PMF training, and the crowd-evaluation
-pipeline (compiled popularity routing, vectorized familiarity accumulation,
-batched crowd simulation) vs. its preserved sequential oracles.
+index queries, sparse vs. dense PMF training, the crowd-evaluation pipeline
+(compiled popularity routing, vectorized familiarity kernels, batched crowd
+simulation) vs. its preserved sequential oracles, and the sharded serving
+engine vs. sequential ``recommend_batch``.
 
 These benchmarks seed the repo's performance trajectory: run them through
 ``scripts/bench_to_json.py`` to (re)generate ``BENCH_hot_paths.json`` at the
@@ -23,14 +24,18 @@ import numpy as np
 import pytest
 
 from repro.core.familiarity import FamiliarityModel
+from repro.core.planner import CrowdPlanner
 from repro.core.pmf import ProbabilisticMatrixFactorization
 from repro.core.task_generation import TaskGenerator
+from repro.datasets.synthetic_city import SyntheticCityConfig, build_scenario
+from repro.datasets.workloads import LargeBatchWorkloadConfig, generate_large_batch_workload
 from repro.exceptions import TaskGenerationError
 from repro.roadnet import reference
 from repro.roadnet import shortest_path as fast
 from repro.roadnet.generators import GridCityConfig, generate_grid_city, random_od_pairs
 from repro.routing.base import RouteQuery
 from repro.routing.mpr import MostPopularRouteMiner
+from repro.serving import ShardedRecommendationEngine, recommendation_fingerprint
 from repro.spatial import GridIndex, Point
 
 CITY = GridCityConfig(rows=10, cols=10, block_size_m=220.0, seed=23)
@@ -219,6 +224,24 @@ def test_familiarity_reference(benchmark, familiarity_setup):
     benchmark(model._accumulate_reference, completed)
 
 
+# ----------------------------------------------------------- familiarity raw
+@pytest.mark.benchmark(group="familiarity_raw")
+def test_familiarity_raw_compiled(benchmark, familiarity_setup):
+    model, _ = familiarity_setup
+    matrix = benchmark(model.build_raw_matrix)
+    oracle = model.build_raw_matrix_reference()
+    # The numpy kernel may differ from the scalar loop by an ulp (np.hypot /
+    # np.exp); the "no information" zero pattern must agree exactly.
+    np.testing.assert_allclose(matrix, oracle, rtol=1e-12, atol=1e-15)
+    assert np.array_equal(matrix == 0.0, oracle == 0.0)
+
+
+@pytest.mark.benchmark(group="familiarity_raw")
+def test_familiarity_raw_reference(benchmark, familiarity_setup):
+    model, _ = familiarity_setup
+    benchmark(model.build_raw_matrix_reference)
+
+
 # --------------------------------------------------------------- crowd batch
 @pytest.fixture(scope="module")
 def crowd_setup(bench_scenario):
@@ -248,13 +271,9 @@ def crowd_setup(bench_scenario):
 
 
 def _run_crowd(collect, crowd, tasks, worker_ids):
-    responses = []
-    for task in tasks:
-        # Pin the per-task RNG derivation so every timing round (and the
-        # batched/sequential pair) samples identical randomness.
-        crowd._task_counter = 0
-        responses.append(collect(task, worker_ids))
-    return responses
+    # Task RNG derivation is content-keyed, so every timing round (and the
+    # batched/sequential pair) samples identical randomness by construction.
+    return [collect(task, worker_ids) for task in tasks]
 
 
 @pytest.mark.benchmark(group="crowd_batch")
@@ -268,3 +287,91 @@ def test_crowd_batch_compiled(benchmark, crowd_setup):
 def test_crowd_batch_reference(benchmark, crowd_setup):
     crowd, tasks, worker_ids = crowd_setup
     benchmark(_run_crowd, crowd.collect_responses_sequential, crowd, tasks, worker_ids)
+
+
+# --------------------------------------------------------------- crowd shard
+@pytest.fixture(scope="module")
+def shard_setup():
+    """A city large enough to hold independent od neighbourhoods, a clustered
+    large-batch workload, one pre-fitted familiarity model, and the sequential
+    oracle's result fingerprints.
+
+    The sequential oracle runs once here; before any timing, the sharded
+    engine is asserted bit-identical to it for worker counts {1, 2, 4} — the
+    acceptance gate of the serving subsystem.  Answers do not depend on
+    worker answer histories or reward balances while the familiarity model is
+    frozen, so one oracle is valid for every subsequent run.
+    """
+    scenario = build_scenario(
+        SyntheticCityConfig(
+            rows=18,
+            cols=18,
+            block_size_m=320.0,
+            num_landmarks=110,
+            num_drivers=18,
+            trips_per_driver=10,
+            num_hot_pairs=14,
+            num_workers=28,
+            seed=31,
+        )
+    )
+    workload = generate_large_batch_workload(
+        scenario.network,
+        LargeBatchWorkloadConfig(
+            num_queries=240, num_clusters=6, dominant_destination_fraction=0.15, seed=97
+        ),
+    )
+    familiarity = scenario.build_planner().familiarity
+
+    def build_planner():
+        return CrowdPlanner(
+            network=scenario.network,
+            catalog=scenario.catalog,
+            calibrator=scenario.calibrator,
+            sources=scenario.sources,
+            worker_pool=scenario.worker_pool,
+            crowd_backend=scenario.crowd,
+            config=scenario.config.planner_config,
+            familiarity=familiarity,
+        )
+
+    oracle = [
+        recommendation_fingerprint(result)
+        for result in build_planner().recommend_batch(workload)
+    ]
+    # Equivalence before timing: workers {1, 2, 4} must match the oracle.
+    for workers in (1, 2, 4):
+        engine = ShardedRecommendationEngine(build_planner(), workers=workers)
+        sharded = [recommendation_fingerprint(r) for r in engine.recommend_batch(workload)]
+        assert sharded == oracle, f"sharded serving diverged from sequential at workers={workers}"
+    return build_planner, workload, oracle
+
+
+def _run_sharded(build_planner, workload, workers):
+    engine = ShardedRecommendationEngine(build_planner(), workers=workers)
+    return engine.recommend_batch(workload)
+
+
+@pytest.mark.benchmark(group="crowd_shard")
+def test_crowd_shard_compiled(benchmark, shard_setup):
+    """Sharded serving (2 forked workers; ratios are core-count dependent —
+    a single-core container records the sharding overhead, multi-core CI the
+    speedup — so the trajectory gate is calibrated by the committed run)."""
+    build_planner, workload, oracle = shard_setup
+    results = benchmark.pedantic(
+        _run_sharded, args=(build_planner, workload, 2), rounds=3, iterations=1, warmup_rounds=0
+    )
+    assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+@pytest.mark.benchmark(group="crowd_shard")
+def test_crowd_shard_reference(benchmark, shard_setup):
+    """The sequential oracle path on an identically constructed planner."""
+    build_planner, workload, oracle = shard_setup
+    results = benchmark.pedantic(
+        lambda: build_planner().recommend_batch(workload),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert [recommendation_fingerprint(r) for r in results] == oracle

@@ -14,12 +14,18 @@ Usage::
     python scripts/bench_check.py                   # re-run + compare
     python scripts/bench_check.py --threshold 0.5   # looser gate
     python scripts/bench_check.py --candidate f.json  # compare a prior run
+
+In CI the committed-vs-measured delta table is additionally appended as
+Markdown to ``$GITHUB_STEP_SUMMARY`` (or any file passed via
+``--summary-file``), so perf drift is visible on the PR's job summary even
+when the gate passes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -42,6 +48,51 @@ def compare(committed: dict, candidate: dict, threshold: float) -> list:
     return failures
 
 
+def render_summary_markdown(committed: dict, candidate: dict, threshold: float, failures: list) -> str:
+    """Markdown delta table of committed vs measured speedups per suite."""
+    failed_groups = {group for group, *_ in failures}
+    lines = [
+        "### Hot-path speedup trajectory (fast path vs preserved oracle)",
+        "",
+        "| suite | committed | measured | delta | status |",
+        "|---|---:|---:|---:|:---|",
+    ]
+    groups = sorted(set(committed.get("speedups", {})) | set(candidate.get("speedups", {})))
+    for group in groups:
+        recorded = committed.get("speedups", {}).get(group)
+        measured = candidate.get("speedups", {}).get(group)
+        recorded_text = f"{recorded:.2f}x" if recorded is not None else "—"
+        measured_text = f"{measured:.2f}x" if measured is not None else "missing"
+        if recorded and measured:
+            delta = (measured - recorded) / recorded
+            delta_text = f"{delta:+.1%}"
+        elif recorded is None and measured is not None:
+            delta_text = "new suite"
+        else:
+            delta_text = "—"
+        status = "❌ regressed" if group in failed_groups else "✅"
+        lines.append(f"| {group} | {recorded_text} | {measured_text} | {delta_text} | {status} |")
+    lines.append("")
+    if failures:
+        lines.append(
+            f"**FAIL** — {len(failures)} suite(s) below {threshold:.0%} of the committed speedup."
+        )
+    else:
+        lines.append(f"**OK** — every suite holds ≥ {threshold:.0%} of its committed speedup.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_summary(markdown: str, summary_file: str | None) -> None:
+    """Append the table to --summary-file and/or $GITHUB_STEP_SUMMARY."""
+    targets = [summary_file, os.environ.get("GITHUB_STEP_SUMMARY")]
+    for target in targets:
+        if not target:
+            continue
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -61,6 +112,12 @@ def main() -> int:
         help="use an existing summary JSON instead of re-running the benchmarks",
     )
     parser.add_argument("--pytest-args", default="", help="extra args passed to pytest")
+    parser.add_argument(
+        "--summary-file",
+        default=None,
+        help="append the Markdown delta table here (always also appended to "
+        "$GITHUB_STEP_SUMMARY when that is set)",
+    )
     args = parser.parse_args()
     if not 0.0 < args.threshold <= 1.0:
         parser.error("--threshold must be in (0, 1]")
@@ -77,6 +134,10 @@ def main() -> int:
         print(f"  {group}: {measured:.2f}x measured ({recorded_text})")
 
     failures = compare(committed, candidate, args.threshold)
+    write_summary(
+        render_summary_markdown(committed, candidate, args.threshold, failures),
+        args.summary_file,
+    )
     if failures:
         print(f"\nFAIL: {len(failures)} suite(s) below {args.threshold:.0%} of the trajectory:")
         for group, recorded, measured, floor in failures:

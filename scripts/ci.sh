@@ -10,6 +10,10 @@
 #                            # bench_candidate.json and gate the measured
 #                            # speedups against the committed
 #                            # BENCH_hot_paths.json via scripts/bench_check.py
+#   scripts/ci.sh --cov      # collect pytest coverage for src/repro into
+#                            # coverage.xml (skipped with a warning when
+#                            # pytest-cov is not installed, so offline dev
+#                            # containers keep working)
 #
 # If ruff is installed, lint + format checks run first (CI installs it; the
 # offline dev container may not have it, so it is skipped when absent).
@@ -20,13 +24,24 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 run_all=0
 run_bench=0
+run_cov=0
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=1 ;;
         --bench) run_bench=1 ;;
+        --cov) run_cov=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+cov_args=()
+if [[ "$run_cov" == 1 ]]; then
+    if python -c "import pytest_cov" >/dev/null 2>&1; then
+        cov_args=(--cov=repro --cov-report=xml:coverage.xml --cov-report=term)
+    else
+        echo "WARNING: --cov requested but pytest-cov is not installed; running without coverage"
+    fi
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== lint (ruff) =="
@@ -37,9 +52,9 @@ fi
 
 echo "== tier-1 tests =="
 if [[ "$run_all" == 1 ]]; then
-    python -m pytest -x -q
+    python -m pytest -x -q ${cov_args[@]+"${cov_args[@]}"}
 else
-    python -m pytest -x -q -m "not slow"
+    python -m pytest -x -q -m "not slow" ${cov_args[@]+"${cov_args[@]}"}
 fi
 
 echo "== benchmarks (timing disabled) =="

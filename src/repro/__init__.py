@@ -27,6 +27,24 @@ front:
 >>> len(results)
 3
 
+Serving
+-------
+Large batches scale across OS processes through the sharded serving engine
+(``repro.serving``): the planner's ``shard_plan`` splits a batch into
+interaction-closed od-cell components (no recorded truth can cross a shard
+boundary), each worker process receives a destination-cell partition of the
+truth store plus the shared compiled road network, and the merged results are
+bit-identical to the sequential path — which stays in place as the oracle the
+``crowd_shard`` benchmark suite and the serving property tests compare
+against.  ``workers=1`` (or platforms without ``fork``) serves in-process::
+
+    from repro.serving import ShardedRecommendationEngine
+    engine = ShardedRecommendationEngine(planner, workers=4)
+    results = engine.recommend_batch(queries)   # == planner.recommend_batch(queries)
+
+See ``examples/sharded_serving.py`` for an end-to-end walkthrough and
+experiment E8 (``repro.experiments.exp_throughput``) for the worker sweep.
+
 Performance
 -----------
 The routing, spatial-index and PMF hot paths run on flat-array fast paths
@@ -43,10 +61,11 @@ against.
 
 from .config import DEFAULT_CONFIG, PlannerConfig
 from .exceptions import CrowdPlannerError
-from .core.planner import CrowdPlanner, RecommendationResult
+from .core.planner import CrowdPlanner, RecommendationResult, ShardPlan
 from .routing.base import CandidateRoute, RouteQuery
+from .serving import ShardedRecommendationEngine
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -54,6 +73,8 @@ __all__ = [
     "CrowdPlannerError",
     "CrowdPlanner",
     "RecommendationResult",
+    "ShardPlan",
+    "ShardedRecommendationEngine",
     "CandidateRoute",
     "RouteQuery",
     "__version__",

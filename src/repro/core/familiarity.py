@@ -85,7 +85,70 @@ class FamiliarityModel:
         )
 
     def build_raw_matrix(self) -> np.ndarray:
-        """The sparse observed matrix ``M`` (zeros mean "no information")."""
+        """The sparse observed matrix ``M`` (zeros mean "no information").
+
+        Vectorized as an anchor-distance kernel (the same shape as
+        :meth:`AnswerBehaviorModel.answer_accuracies_matrix`): the three
+        profile distances — home, workplace and nearest declared familiar
+        place, the latter via an ``inf``-padded ``(worker, place)`` minimum —
+        are computed for every (worker, landmark) pair in one numpy pass, and
+        the sparse answer-history term is scattered on top from each worker's
+        per-landmark records.  The former double loop is preserved as
+        :meth:`build_raw_matrix_reference`, the oracle the equivalence tests
+        and the ``familiarity_raw`` benchmark compare against (``np.hypot`` /
+        ``np.exp`` may differ from the scalar ``math`` calls in the final
+        ulp, so the comparison is a tight ``allclose`` rather than bitwise).
+        """
+        workers = [self.pool.get(worker_id) for worker_id in self._worker_ids]
+        num_workers, num_landmarks = len(workers), len(self._landmark_ids)
+        if num_workers == 0 or num_landmarks == 0:
+            return np.zeros((num_workers, num_landmarks))
+        radius = self.config.knowledge_radius_m
+
+        anchors = [self.catalog.get(landmark_id).anchor for landmark_id in self._landmark_ids]
+        lx = np.array([anchor.x for anchor in anchors], dtype=np.float64)
+        ly = np.array([anchor.y for anchor in anchors], dtype=np.float64)
+        hx = np.array([worker.home.x for worker in workers], dtype=np.float64)
+        hy = np.array([worker.home.y for worker in workers], dtype=np.float64)
+        wx = np.array([worker.workplace.x for worker in workers], dtype=np.float64)
+        wy = np.array([worker.workplace.y for worker in workers], dtype=np.float64)
+        # Familiar places padded to the crew maximum with inf (an infinitely
+        # far place never wins the minimum); a worker with none declared
+        # falls back to home, matching ``nearest_familiar_place``.
+        place_lists = [worker.familiar_places or [worker.home] for worker in workers]
+        width = max(len(places) for places in place_lists)
+        px = np.full((num_workers, width), np.inf, dtype=np.float64)
+        py = np.full((num_workers, width), np.inf, dtype=np.float64)
+        for i, places in enumerate(place_lists):
+            for j, place in enumerate(places):
+                px[i, j] = place.x
+                py[i, j] = place.y
+
+        home_distance = np.hypot(lx[None, :] - hx[:, None], ly[None, :] - hy[:, None])
+        work_distance = np.hypot(lx[None, :] - wx[:, None], ly[None, :] - wy[:, None])
+        familiar_distance = np.hypot(
+            lx[None, None, :] - px[:, :, None], ly[None, None, :] - py[:, :, None]
+        ).min(axis=1)
+
+        def scaled(distance: np.ndarray) -> np.ndarray:
+            return np.where(distance > radius, np.inf, distance / radius)
+
+        distance_sum = scaled(home_distance) + scaled(work_distance) + scaled(familiar_distance)
+        profile_term = np.where(np.isinf(distance_sum), 0.0, np.exp(-distance_sum))
+
+        history_term = np.zeros((num_workers, num_landmarks))
+        beta = self.config.familiarity_beta
+        for row, worker in enumerate(workers):
+            for landmark_id, record in worker.answer_history.items():
+                column = self._landmark_index.get(landmark_id)
+                if column is not None:
+                    history_term[row, column] = record.correct + beta * record.wrong
+
+        alpha = self.config.familiarity_alpha
+        return alpha * profile_term + (1.0 - alpha) * history_term
+
+    def build_raw_matrix_reference(self) -> np.ndarray:
+        """The original per-pair double loop — the vectorized kernel's oracle."""
         matrix = np.zeros((len(self._worker_ids), len(self._landmark_ids)))
         for worker_id in self._worker_ids:
             worker = self.pool.get(worker_id)

@@ -17,8 +17,9 @@ workflow:
 from __future__ import annotations
 
 import abc
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import (
@@ -94,6 +95,61 @@ class PlannerStatistics:
             "single_candidate_answers": self.single_candidate_answers,
             "questions_asked": self.questions_asked,
         }
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Add per-shard counter deltas (the serving engine's merge step)."""
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + int(value))
+
+
+@dataclass(frozen=True)
+class QueryShard:
+    """One worker's slice of a batch: whole interaction-closed components.
+
+    ``indices`` are submission positions into the original query list, in
+    ascending (submission) order; ``destination_cells`` is the reach-expanded
+    set of destination grid cells whose truth partition the shard must be
+    shipped (see :meth:`TruthDatabase.partition_by_cells`).
+    """
+
+    shard_id: int
+    indices: Tuple[int, ...]
+    destination_cells: FrozenSet[Tuple[int, int]]
+    components: int
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a batch of queries is split across serving workers.
+
+    Shards are unions of *interaction-closed components*: two queries land in
+    the same component whenever a truth recorded for one could influence the
+    other — their origin cells and destination cells are both within
+    ``cell_reach`` grid cells, the quantised form of ``interaction_radius_m``
+    (the larger of the truth-reuse radius and the evaluator's neighbourhood
+    radius).  Queries in different components can therefore be answered in
+    different processes, in any order, without observing each other, which is
+    what makes sharded execution bit-identical to sequential execution.
+    """
+
+    shards: Tuple[QueryShard, ...]
+    num_queries: int
+    interaction_radius_m: float
+    cell_size_m: float
+    cell_reach: int
+
+    @property
+    def num_components(self) -> int:
+        return sum(shard.components for shard in self.shards)
+
+    def largest_shard_fraction(self) -> float:
+        """Load skew diagnostic: fraction of the batch in the biggest shard."""
+        if not self.shards or self.num_queries == 0:
+            return 0.0
+        return max(len(shard) for shard in self.shards) / self.num_queries
 
 
 class CrowdPlanner:
@@ -255,6 +311,130 @@ class CrowdPlanner:
             groups.setdefault(key, []).append(index)
         return groups
 
+    def shard_plan(self, queries: Sequence[RouteQuery], shards: int) -> ShardPlan:
+        """Partition a batch into at most ``shards`` interaction-closed shards.
+
+        Queries are first grouped by od-cell (:meth:`od_cell_groups`), the
+        groups are linked into components whenever both their origin cells and
+        their destination cells lie within the *interaction reach* — the
+        quantised maximum of the truth-reuse radius and the evaluator's
+        neighbourhood radius, i.e. the farthest a truth recorded for one query
+        can be seen by another — and whole components are packed onto shards
+        largest-first.  Because no truth can cross a component boundary,
+        executing each shard's queries in submission order (with a truth
+        partition covering its ``destination_cells``) reproduces the
+        sequential batch exactly; the serving engine
+        (:class:`repro.serving.ShardedRecommendationEngine`) is built on this
+        guarantee.
+        """
+        if shards < 1:
+            raise CrowdPlannerError("shard_plan needs at least one shard")
+        cell = self.truths.reuse_cell_size_m
+        radius = max(self.config.truth_reuse_radius_m, self.evaluator.neighbourhood_radius_m)
+        reach = int(radius // cell) + 1
+
+        groups = self.od_cell_groups(queries)
+        keys = list(groups)
+        parent = list(range(len(keys)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[max(ri, rj)] = min(ri, rj)
+
+        # Groups within reach in every od-cell axis must share a component.
+        # Bucketing by reach-sized coarse cells bounds the pair checks: any
+        # two groups within reach differ by at most one coarse cell per axis.
+        buckets: Dict[Tuple[int, int, int, int], List[int]] = {}
+        for index, key in enumerate(keys):
+            coarse = tuple(value // reach for value in key)
+            buckets.setdefault(coarse, []).append(index)
+        offsets = [-1, 0, 1]
+        for coarse, members in buckets.items():
+            for da in offsets:
+                for db in offsets:
+                    for dc in offsets:
+                        for dd in offsets:
+                            other = (coarse[0] + da, coarse[1] + db, coarse[2] + dc, coarse[3] + dd)
+                            neighbours = buckets.get(other)
+                            if neighbours is None or other < coarse:
+                                continue
+                            for i in members:
+                                for j in neighbours:
+                                    if i >= j and other == coarse:
+                                        continue
+                                    if all(
+                                        abs(keys[i][axis] - keys[j][axis]) <= reach
+                                        for axis in range(4)
+                                    ):
+                                        union(i, j)
+
+        components: Dict[int, List[int]] = {}
+        for index in range(len(keys)):
+            components.setdefault(find(index), []).append(index)
+        # (indices, destination cells) per component, submission-ordered.
+        built = []
+        for group_indices in components.values():
+            indices: List[int] = []
+            cells = set()
+            for gi in group_indices:
+                key = keys[gi]
+                indices.extend(groups[key])
+                for dx in range(-reach, reach + 1):
+                    for dy in range(-reach, reach + 1):
+                        cells.add((key[2] + dx, key[3] + dy))
+            indices.sort()
+            built.append((indices, cells))
+        # Largest component first, earliest query breaking ties, onto the
+        # least-loaded shard — deterministic for a fixed workload.
+        built.sort(key=lambda item: (-len(item[0]), item[0][0]))
+        shard_count = max(1, min(shards, len(built)))
+        loads = [0] * shard_count
+        assigned: List[List[Tuple[List[int], set]]] = [[] for _ in range(shard_count)]
+        for component in built:
+            target = min(range(shard_count), key=lambda s: (loads[s], s))
+            assigned[target].append(component)
+            loads[target] += len(component[0])
+        shards_built = []
+        for shard_id, component_list in enumerate(assigned):
+            if not component_list:
+                continue
+            indices = sorted(itertools.chain.from_iterable(c[0] for c in component_list))
+            cells = set().union(*(c[1] for c in component_list))
+            shards_built.append(
+                QueryShard(
+                    shard_id=shard_id,
+                    indices=tuple(indices),
+                    destination_cells=frozenset(cells),
+                    components=len(component_list),
+                )
+            )
+        return ShardPlan(
+            shards=tuple(shards_built),
+            num_queries=len(queries),
+            interaction_radius_m=radius,
+            cell_size_m=cell,
+            cell_reach=reach,
+        )
+
+    def warm_batch(self, queries: Sequence[RouteQuery]) -> None:
+        """One-off warm-ups before a batch: compile the road network's
+        flat-array view and run every source's
+        :meth:`RouteSource.prepare_batch` hook.  Shared by
+        :meth:`recommend_batch` and the sharded serving engine (which warms
+        once in the parent so forked workers inherit the state)."""
+        self.network.compiled()
+        for source in self.sources:
+            prepare = getattr(source, "prepare_batch", None)
+            if prepare is not None:
+                prepare(queries)
+
     def recommend_batch(
         self, queries: Sequence[RouteQuery], share_candidate_generation: bool = True
     ) -> List[RecommendationResult]:
@@ -279,11 +459,7 @@ class CrowdPlanner:
           disables only this memoisation; the warm-ups above always run.
         """
         queries = list(queries)
-        self.network.compiled()
-        for source in self.sources:
-            prepare = getattr(source, "prepare_batch", None)
-            if prepare is not None:
-                prepare(queries)
+        self.warm_batch(queries)
         if share_candidate_generation:
             shareable = {
                 index

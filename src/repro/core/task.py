@@ -103,6 +103,17 @@ class Task:
         return self.question_tree.expected_questions()
 
 
+def reissue_task_id(task: Task) -> None:
+    """Re-number ``task`` from this process's id sequence.
+
+    The sharded serving engine generates tasks inside worker processes, whose
+    forked id counters advance independently; re-issuing ids at merge time
+    keeps the parent planner's task-id sequence exactly as if the batch had
+    been answered sequentially.
+    """
+    task.task_id = next(_task_ids)
+
+
 @dataclass
 class TaskResult:
     """Aggregated outcome of a task after (a subset of) workers responded."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import TruthStoreError
@@ -92,10 +92,67 @@ class TruthDatabase:
             verified_by=verified_by,
             confidence=confidence,
         )
+        self._adopt(truth)
+        return truth
+
+    def _adopt(self, truth: VerifiedTruth) -> None:
+        """Insert an already-built truth, keeping its id (partition/merge path)."""
         self._truths[truth.truth_id] = truth
         self._origin_index.insert(truth.truth_id, truth.origin)
         self._destination_index.insert(truth.truth_id, truth.destination)
-        return truth
+
+    # ------------------------------------------------------------ partitioning
+    def destination_cell_of(self, point: Point) -> Tuple[int, int]:
+        """The destination-index grid cell ``point`` falls in."""
+        return self._destination_index.cell_of(point)
+
+    def partition_by_cells(self, cells: Iterable[Tuple[int, int]]) -> "TruthDatabase":
+        """A new store holding the truths whose *destination* falls in ``cells``.
+
+        This is the shard-shipping primitive of the serving layer: each shard
+        of a batch receives the partition covering its queries' destination
+        cells (expanded by the interaction reach, see
+        :meth:`~repro.core.planner.CrowdPlanner.shard_plan`), which is a
+        superset of every truth its queries can observe — lookups filter by
+        exact radius, so surplus truths are harmless, while a missing one
+        would change an answer.  Truths keep their ids and relative insertion
+        order, so distance-tie-breaking inside the partition agrees with the
+        parent store.  The partition is an independent store: truths recorded
+        into it do not appear in the parent (merge them back explicitly with
+        :meth:`absorb`).
+        """
+        partition = TruthDatabase(self.network, self.config)
+        # The destination index already buckets truths by exactly these
+        # cells, so the partition is built in O(its size), not O(store);
+        # index insertion order is record order, so relative id order (the
+        # lookup tie-break) is preserved.
+        for truth_id in self._destination_index.items_in_cells(cells):
+            partition._adopt(self._truths[truth_id])
+        return partition
+
+    def absorb(self, truths: Iterable[VerifiedTruth]) -> List[VerifiedTruth]:
+        """Merge truths recorded in partitions back, assigning fresh ids.
+
+        ``truths`` must be ordered the way a sequential run would have
+        recorded them (the serving engine orders them by query submission
+        position); each is re-issued under this store's id sequence so the
+        merged store is indistinguishable — up to the process-local id values
+        themselves — from one that recorded the batch sequentially.
+        """
+        merged: List[VerifiedTruth] = []
+        for truth in truths:
+            renumbered = VerifiedTruth(
+                truth_id=next(_truth_ids),
+                origin=truth.origin,
+                destination=truth.destination,
+                time_slot=truth.time_slot,
+                route=truth.route,
+                verified_by=truth.verified_by,
+                confidence=truth.confidence,
+            )
+            self._adopt(renumbered)
+            merged.append(renumbered)
+        return merged
 
     # ------------------------------------------------------------------ read
     def get(self, truth_id: int) -> VerifiedTruth:

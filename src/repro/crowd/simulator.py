@@ -17,6 +17,15 @@ path is benchmarked and equivalence-tested against.  Both paths consume the
 task's derived RNG in the identical order (one uniform draw plus one
 exponential draw per question, workers in assignment order), so they return
 identical responses.
+
+Randomness is *content-keyed*: each task's RNG is derived from the simulator
+seed plus a signature of the task itself (query endpoints, departure time,
+selected landmarks and candidate paths), never from invocation counters.
+Responses are therefore a pure function of ``(seed, task content, worker
+crew)`` — the property the sharded serving engine
+(:mod:`repro.serving`) relies on to make multi-process execution
+bit-identical to sequential execution, where the same tasks are collected in
+a different global order (and in different OS processes).
 """
 
 from __future__ import annotations
@@ -87,7 +96,6 @@ class SimulatedCrowd(CrowdBackend):
         self.behavior = behavior or AnswerBehaviorModel()
         self.seed = seed
         self.batched = batched
-        self._task_counter = 0
         # Per-query ground-truth landmark sets (batched path only).  The
         # ground-truth provider is deterministic per query, so calibrating its
         # route once per od-pair instead of once per task removes the
@@ -102,8 +110,7 @@ class SimulatedCrowd(CrowdBackend):
             raise CrowdPlannerError("collect_responses called with no workers")
         if not self.batched:
             return self._collect_sequential(task, worker_ids)
-        self._task_counter += 1
-        rng = derive_rng(self.seed, f"task-{task.task_id}-{self._task_counter}")
+        rng = self._task_rng(task)
         truth_landmarks = self._cached_truth_landmarks(task.query)
 
         # One pass over the question tree resolves every questioned landmark's
@@ -136,8 +143,7 @@ class SimulatedCrowd(CrowdBackend):
 
     # -------------------------------------------------------------- internal
     def _collect_sequential(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
-        self._task_counter += 1
-        rng = derive_rng(self.seed, f"task-{task.task_id}-{self._task_counter}")
+        rng = self._task_rng(task)
         truth_landmarks = self._ground_truth_landmarks(task.query)
 
         responses = []
@@ -145,6 +151,30 @@ class SimulatedCrowd(CrowdBackend):
             responses.append(self._simulate_worker(task, worker_id, truth_landmarks, rng))
         responses.sort(key=lambda response: (response.total_response_time_s, response.worker_id))
         return responses
+
+    def _task_rng(self, task: Task) -> random.Random:
+        """Derive the task's RNG from its *content* rather than a counter.
+
+        The signature covers everything that distinguishes one crowd task from
+        another — the query endpoints and departure time, the selected
+        landmark set and every candidate path — so identical tasks sample
+        identical randomness no matter when, in what order, or in which
+        process they are collected.  (Within one planner batch the same task
+        content cannot reach the crowd twice: the first resolution records a
+        verified truth that answers any od-identical repeat.)
+        """
+        query = task.query
+        signature = "task-{}-{}-{!r}-{}-{}".format(
+            query.origin,
+            query.destination,
+            query.departure_time_s,
+            ",".join(str(lid) for lid in task.selected_landmarks),
+            ";".join(
+                ",".join(map(str, landmark_route.route.path))
+                for landmark_route in task.landmark_routes
+            ),
+        )
+        return derive_rng(self.seed, signature)
 
     @staticmethod
     def _question_landmarks(task: Task) -> List[int]:

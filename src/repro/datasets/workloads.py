@@ -1,4 +1,4 @@
-"""Query workload generation for the cost / truth-reuse experiments.
+"""Query workload generation for the cost / truth-reuse / serving experiments.
 
 The truth-reuse experiment needs a realistic request stream in which some
 od-pairs are asked again and again (commuting corridors, airport runs) while
@@ -6,6 +6,14 @@ others appear once.  The workload generator produces such a stream with
 Zipf-skewed repetition and slight endpoint perturbation, so repeated requests
 are near-duplicates rather than exact duplicates — exercising the radius and
 time-slot matching of the truth store.
+
+:func:`generate_large_batch_workload` produces the serving layer's stress
+workload instead: a large batch whose od-pairs concentrate in spatially
+separated *clusters* (distinct neighbourhoods of the city), so the sharded
+engine's interaction-closure analysis finds many independent components to
+spread across worker processes.  A ``dominant_destination_fraction`` knob
+routes part of the stream to one shared destination cell — the skew case the
+shard-determinism tests exercise.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..exceptions import ConfigurationError
 from ..roadnet.graph import RoadNetwork
 from ..routing.base import RouteQuery
-from ..utils.rng import derive_rng
+from ..utils.rng import derive_rng, shuffled
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,146 @@ def generate_query_workload(
             RouteQuery(origin=origin, destination=destination, departure_time_s=departure % (24 * 3600))
         )
     return queries
+
+
+@dataclass(frozen=True)
+class LargeBatchWorkloadConfig:
+    """Parameters of the sharded-serving stress workload."""
+
+    num_queries: int = 600
+    num_clusters: int = 8
+    pairs_per_cluster: int = 4
+    cluster_radius_m: float = 550.0
+    min_pair_distance_m: float = 400.0
+    zipf_exponent: float = 1.0
+    endpoint_jitter_m: float = 120.0
+    dominant_destination_fraction: float = 0.0
+    peak_departure_fraction: float = 0.6
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise ConfigurationError("num_queries must be non-negative")
+        if self.num_clusters < 1:
+            raise ConfigurationError("num_clusters must be at least 1")
+        if self.pairs_per_cluster < 1:
+            raise ConfigurationError("pairs_per_cluster must be at least 1")
+        if self.cluster_radius_m <= 0:
+            raise ConfigurationError("cluster_radius_m must be positive")
+        if self.min_pair_distance_m < 0:
+            raise ConfigurationError("min_pair_distance_m must be non-negative")
+        if self.zipf_exponent <= 0:
+            raise ConfigurationError("zipf_exponent must be positive")
+        if self.endpoint_jitter_m < 0:
+            raise ConfigurationError("endpoint_jitter_m must be non-negative")
+        if not 0 <= self.dominant_destination_fraction <= 1:
+            raise ConfigurationError("dominant_destination_fraction must be in [0, 1]")
+        if not 0 <= self.peak_departure_fraction <= 1:
+            raise ConfigurationError("peak_departure_fraction must be in [0, 1]")
+
+
+def generate_large_batch_workload(
+    network: RoadNetwork,
+    config: Optional[LargeBatchWorkloadConfig] = None,
+) -> List[RouteQuery]:
+    """Generate a large, spatially clustered batch for the serving engine.
+
+    Cluster centres are chosen by greedy farthest-point sampling over the
+    intersections, so the clusters sit in distinct neighbourhoods; each
+    cluster contributes a handful of base od-pairs drawn from its
+    neighbourhood (both endpoints within ``cluster_radius_m``), and queries
+    pick a cluster uniformly, a base pair Zipf-skewed within the cluster, and
+    jittered endpoints — the repetition profile production traffic shows,
+    replicated per neighbourhood.  With ``dominant_destination_fraction > 0``
+    that fraction of the stream is redirected to a single shared destination
+    intersection, concentrating one destination grid cell; the shard planner
+    must stay correct (and usefully parallel) under that skew.  The stream is
+    shuffled, so consecutive queries usually belong to different clusters.
+    """
+    config = config or LargeBatchWorkloadConfig()
+    rng = derive_rng(config.seed, "large-batch-workload")
+    node_ids = network.node_ids()
+    if len(node_ids) < 2:
+        raise ConfigurationError("generate_large_batch_workload needs at least two intersections")
+
+    centers = _farthest_point_centers(network, node_ids, config.num_clusters, rng)
+    cluster_pairs: List[List[Tuple[int, int]]] = []
+    for center in centers:
+        location = network.node_location(center)
+        neighbourhood = [node for node, _ in network.nodes_within(location, config.cluster_radius_m)]
+        if len(neighbourhood) < 2:
+            neighbourhood = [center] + [node for node in node_ids if node != center][:1]
+        pairs: List[Tuple[int, int]] = []
+        attempts = 0
+        while len(pairs) < config.pairs_per_cluster and attempts < config.pairs_per_cluster * 60:
+            attempts += 1
+            origin, destination = rng.sample(neighbourhood, 2) if len(neighbourhood) >= 2 else (
+                neighbourhood[0],
+                neighbourhood[0],
+            )
+            if origin == destination:
+                continue
+            distance = network.node_location(origin).distance_to(network.node_location(destination))
+            if distance < config.min_pair_distance_m:
+                continue
+            pairs.append((origin, destination))
+        if not pairs:
+            pairs.append((neighbourhood[0], neighbourhood[-1]))
+        cluster_pairs.append(pairs)
+
+    dominant_destination = rng.choice(node_ids)
+    weights_by_cluster = [
+        [1.0 / (rank + 1) ** config.zipf_exponent for rank in range(len(pairs))]
+        for pairs in cluster_pairs
+    ]
+
+    queries: List[RouteQuery] = []
+    attempts = 0
+    max_attempts = config.num_queries * 50 + 100
+    while len(queries) < config.num_queries and attempts < max_attempts:
+        attempts += 1
+        cluster = rng.randrange(len(cluster_pairs))
+        pairs = cluster_pairs[cluster]
+        index = rng.choices(range(len(pairs)), weights=weights_by_cluster[cluster], k=1)[0]
+        origin, destination = pairs[index]
+        origin = _jitter_node(network, origin, config.endpoint_jitter_m, rng)
+        if rng.random() < config.dominant_destination_fraction:
+            destination = dominant_destination
+        else:
+            destination = _jitter_node(network, destination, config.endpoint_jitter_m, rng)
+        if origin == destination:
+            continue
+        if rng.random() < config.peak_departure_fraction:
+            departure = rng.gauss(8.5, 0.5) * 3600.0
+        else:
+            departure = rng.uniform(6.0, 22.0) * 3600.0
+        queries.append(
+            RouteQuery(origin=origin, destination=destination, departure_time_s=departure % (24 * 3600))
+        )
+    return shuffled(queries, rng)
+
+
+def _farthest_point_centers(
+    network: RoadNetwork, node_ids: Sequence[int], count: int, rng
+) -> List[int]:
+    """Greedy farthest-point sampling of ``count`` well-separated intersections."""
+    first = rng.choice(list(node_ids))
+    centers = [first]
+    distances = {
+        node: network.node_location(node).distance_to(network.node_location(first))
+        for node in node_ids
+    }
+    while len(centers) < min(count, len(node_ids)):
+        farthest = max(node_ids, key=lambda node: (distances[node], node))
+        if distances[farthest] <= 0:
+            break
+        centers.append(farthest)
+        location = network.node_location(farthest)
+        for node in node_ids:
+            candidate = network.node_location(node).distance_to(location)
+            if candidate < distances[node]:
+                distances[node] = candidate
+    return centers
 
 
 def _jitter_node(network: RoadNetwork, node_id: int, jitter_m: float, rng) -> int:

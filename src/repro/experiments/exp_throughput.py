@@ -1,0 +1,109 @@
+"""E8 — Serving throughput: sharded batch serving across worker processes.
+
+The serving engine (:mod:`repro.serving`) answers large query batches by
+partitioning od-cell components across a process pool, shipping each shard a
+destination-cell partition of the truth store, and merging results in
+submission order.  This experiment sweeps the worker count over a clustered
+large-batch workload (with a dominant destination cell mixed in, the skew
+case) and reports, per worker count, the wall time, throughput, speedup over
+the sequential oracle, the shard plan's shape — and, crucially, whether the
+answers were identical to the sequential run, which is the engine's
+correctness contract.
+
+Wall-clock numbers are machine-dependent (a single-core container shows the
+sharding *overhead* rather than a speedup); the identical-answers column must
+hold everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..datasets.synthetic_city import Scenario
+from ..datasets.workloads import LargeBatchWorkloadConfig, generate_large_batch_workload
+from ..serving import ShardedRecommendationEngine, recommendation_fingerprint
+from .metrics import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ThroughputExperimentConfig:
+    """Workload and sweep parameters for E8."""
+
+    worker_counts: Tuple[int, ...] = (1, 2, 4)
+    num_queries: int = 240
+    num_clusters: int = 6
+    dominant_destination_fraction: float = 0.15
+    use_processes: bool = True
+    seed: int = 131
+
+
+def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None) -> ExperimentResult:
+    """Run E8 on a built scenario."""
+    config = config or ThroughputExperimentConfig()
+    workload = generate_large_batch_workload(
+        scenario.network,
+        LargeBatchWorkloadConfig(
+            num_queries=config.num_queries,
+            num_clusters=config.num_clusters,
+            dominant_destination_fraction=config.dominant_destination_fraction,
+            seed=config.seed,
+        ),
+    )
+
+    # Every run must start from the same planner state; the familiarity fit
+    # reads the (shared) worker pool's answer histories, so all planners are
+    # built before any batch runs.
+    sequential_planner = scenario.build_planner()
+    sharded_planners = {workers: scenario.build_planner() for workers in config.worker_counts}
+
+    started = time.perf_counter()
+    sequential_results = sequential_planner.recommend_batch(workload)
+    sequential_time = time.perf_counter() - started
+    oracle = [recommendation_fingerprint(result) for result in sequential_results]
+
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Sharded serving throughput vs the sequential oracle",
+        notes={
+            "num_queries": len(workload),
+            "num_clusters": config.num_clusters,
+            "dominant_destination_fraction": config.dominant_destination_fraction,
+            "use_processes": config.use_processes,
+        },
+    )
+
+    all_identical = True
+    for workers in config.worker_counts:
+        engine = ShardedRecommendationEngine(
+            sharded_planners[workers], workers=workers, use_processes=config.use_processes
+        )
+        plan = engine.plan(workload, workers)
+        started = time.perf_counter()
+        sharded_results = engine.recommend_batch(workload)
+        elapsed = time.perf_counter() - started
+        identical = [recommendation_fingerprint(r) for r in sharded_results] == oracle
+        all_identical = all_identical and identical
+        result.add_row(
+            workers=workers,
+            wall_time_s=elapsed,
+            queries_per_s=len(workload) / elapsed if elapsed > 0 else float("inf"),
+            speedup_vs_sequential=sequential_time / elapsed if elapsed > 0 else float("inf"),
+            shards=len(plan.shards),
+            components=plan.num_components,
+            largest_shard_fraction=plan.largest_shard_fraction(),
+            identical_to_sequential=identical,
+        )
+
+    result.summary.update(
+        {
+            "sequential_wall_time_s": sequential_time,
+            "sequential_queries_per_s": (
+                len(workload) / sequential_time if sequential_time > 0 else float("inf")
+            ),
+            "all_runs_identical_to_sequential": all_identical,
+            "best_speedup": max((row["speedup_vs_sequential"] for row in result.rows), default=0.0),
+        }
+    )
+    return result

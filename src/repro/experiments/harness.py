@@ -20,6 +20,7 @@ from . import (
     exp_questions,
     exp_selection_efficiency,
     exp_significance,
+    exp_throughput,
     exp_truth_reuse,
     exp_worker_selection,
 )
@@ -50,6 +51,7 @@ class ExperimentRunner:
             "E5": lambda: exp_worker_selection.run(scenario),
             "E6": lambda: exp_pmf.run(scenario),
             "E7": lambda: exp_early_stop.run(scenario),
+            "E8": lambda: exp_throughput.run(scenario),
             "F1": lambda: exp_significance.run(scenario),
             "F2": lambda: exp_disagreement.run(scenario),
         }

@@ -1,0 +1,30 @@
+"""Sharded, multi-process batch serving of route recommendations.
+
+This package scales :meth:`~repro.core.planner.CrowdPlanner.recommend_batch`
+across OS processes while keeping its answers *bit-identical* to the
+sequential path, which stays in place as the behavioural oracle:
+
+* :meth:`CrowdPlanner.shard_plan` splits a batch into interaction-closed
+  shards — no truth recorded for a query in one shard can be observed by a
+  query in another;
+* each worker process receives a planner clone over a destination-cell
+  partition of the :class:`~repro.core.truth.TruthDatabase` (plus the shared
+  compiled road network) and runs the existing per-group batch path;
+* :class:`ShardedRecommendationEngine` merges the shard results back in
+  submission order, replaying recorded truths, worker answer histories and
+  rewards onto the parent planner so its post-batch state matches a
+  sequential run.
+
+``workers=1`` (and any platform without ``fork``) serves in-process with no
+subprocesses at all, so the engine stays deterministic everywhere.
+"""
+
+from .engine import (
+    ShardedRecommendationEngine,
+    recommendation_fingerprint,
+)
+
+__all__ = [
+    "ShardedRecommendationEngine",
+    "recommendation_fingerprint",
+]

@@ -58,6 +58,15 @@ class GridIndex(Generic[T]):
     def _cell_of(self, point: Point) -> Tuple[int, int]:
         return (int(math.floor(point.x / self.cell_size)), int(math.floor(point.y / self.cell_size)))
 
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The grid-cell coordinates ``point`` falls in.
+
+        Exposed so consumers that partition data by spatial cell (the truth
+        store's destination partitioning, the planner's shard planning) can
+        quantise with exactly the index's own boundary decisions.
+        """
+        return self._cell_of(point)
+
     # --------------------------------------------------------------- updates
     def insert(self, item: T, location: Point) -> None:
         """Insert ``item`` at ``location``; re-inserting an item moves it."""
@@ -123,6 +132,20 @@ class GridIndex(Generic[T]):
 
     def items(self) -> List[T]:
         return list(self._item_slot)
+
+    def items_in_cells(self, cells: Iterable[Tuple[int, int]]) -> List[T]:
+        """Items whose locations fall in the given grid cells, in insertion order.
+
+        This is the partitioning read path (truth-store destination
+        partitions): O(matching items), not O(index); duplicate cells in the
+        input are harmless (each item lives in exactly one cell and the cell
+        set is deduplicated first).
+        """
+        slots: List[int] = []
+        for cell in set(cells):
+            slots.extend(self._cells.get(cell, ()))
+        slots.sort()
+        return [self._slot_item[slot] for slot in slots]
 
     # --------------------------------------------------------------- queries
     def _candidate_slots(self, center: Point, radius: float) -> List[int]:

@@ -1,6 +1,8 @@
-"""Vectorized familiarity accumulation: bit-identical to the sequential
-oracle across seeds, with the neighbour structure cached per catalogue
-version."""
+"""Vectorized familiarity kernels vs their sequential oracles: the
+accumulation (bit-identical, neighbour structure cached per catalogue
+version) and the raw-matrix anchor-distance kernel (tight allclose — its
+``np.hypot``/``np.exp`` may differ from the scalar ``math`` calls by an
+ulp)."""
 
 import numpy as np
 import pytest
@@ -13,6 +15,53 @@ from repro.spatial import Point
 @pytest.fixture()
 def model(scenario):
     return FamiliarityModel(scenario.worker_pool, scenario.catalog)
+
+
+class TestRawMatrixEquivalence:
+    def test_matches_double_loop_oracle(self, model):
+        fast = model.build_raw_matrix()
+        oracle = model.build_raw_matrix_reference()
+        assert fast.shape == oracle.shape
+        np.testing.assert_allclose(fast, oracle, rtol=1e-12, atol=1e-15)
+        # "No information" entries must agree exactly: the PMF treats zeros
+        # as unobserved, so an ulp of leakage would change the sparsity.
+        assert np.array_equal(fast == 0.0, oracle == 0.0)
+
+    def test_history_term_scattered(self, scenario):
+        import copy
+
+        pool = copy.deepcopy(scenario.worker_pool)
+        model = FamiliarityModel(pool, scenario.catalog)
+        worker_id = model.worker_ids[0]
+        landmark_id = model.landmark_ids[0]
+        worker = pool.get(worker_id)
+        worker.record_answer(landmark_id, correct=True)
+        worker.record_answer(landmark_id, correct=False)
+        fast = model.build_raw_matrix()
+        oracle = model.build_raw_matrix_reference()
+        np.testing.assert_allclose(fast, oracle, rtol=1e-12, atol=1e-15)
+        row = model._worker_index[worker_id]
+        column = model._landmark_index[landmark_id]
+        beta = model.config.familiarity_beta
+        alpha = model.config.familiarity_alpha
+        assert fast[row, column] >= (1.0 - alpha) * (1.0 + beta * 1.0)
+
+    def test_no_familiar_places_falls_back_to_home(self, scenario):
+        import copy
+
+        pool = copy.deepcopy(scenario.worker_pool)
+        for worker in pool.workers():
+            worker.familiar_places.clear()
+        model = FamiliarityModel(pool, scenario.catalog)
+        np.testing.assert_allclose(
+            model.build_raw_matrix(), model.build_raw_matrix_reference(), rtol=1e-12, atol=1e-15
+        )
+
+    def test_fit_consumes_vectorized_kernel(self, scenario):
+        model = FamiliarityModel(scenario.worker_pool, scenario.catalog)
+        accumulated = model.fit(use_pmf=False)
+        oracle = model._accumulate_reference(model.build_raw_matrix())
+        assert np.array_equal(accumulated, oracle)
 
 
 class TestAccumulateEquivalence:

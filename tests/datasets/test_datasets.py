@@ -3,7 +3,12 @@
 import pytest
 
 from repro.datasets.synthetic_city import SyntheticCityConfig, build_scenario
-from repro.datasets.workloads import QueryWorkloadConfig, generate_query_workload
+from repro.datasets.workloads import (
+    LargeBatchWorkloadConfig,
+    QueryWorkloadConfig,
+    generate_large_batch_workload,
+    generate_query_workload,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -83,3 +88,52 @@ class TestQueryWorkload:
             QueryWorkloadConfig(num_distinct_pairs=0)
         with pytest.raises(ConfigurationError):
             QueryWorkloadConfig(zipf_exponent=0)
+
+
+class TestLargeBatchWorkload:
+    def test_size_and_validity(self, scenario):
+        workload = generate_large_batch_workload(
+            scenario.network, LargeBatchWorkloadConfig(num_queries=120, num_clusters=4, seed=5)
+        )
+        assert len(workload) == 120
+        node_ids = set(scenario.network.node_ids())
+        for query in workload:
+            assert query.origin != query.destination
+            assert query.origin in node_ids and query.destination in node_ids
+            assert 0 <= query.departure_time_s < 24 * 3600
+
+    def test_deterministic(self, scenario):
+        config = LargeBatchWorkloadConfig(num_queries=50, num_clusters=3, seed=9)
+        first = generate_large_batch_workload(scenario.network, config)
+        second = generate_large_batch_workload(scenario.network, config)
+        assert first == second
+
+    def test_queries_concentrate_in_clusters(self, scenario):
+        workload = generate_large_batch_workload(
+            scenario.network,
+            LargeBatchWorkloadConfig(
+                num_queries=100, num_clusters=3, pairs_per_cluster=2, endpoint_jitter_m=0.0, seed=5
+            ),
+        )
+        origins = {query.origin for query in workload}
+        # 3 clusters x 2 base pairs with no jitter: few distinct origins.
+        assert len(origins) <= 6
+
+    def test_dominant_destination_cell(self, scenario):
+        workload = generate_large_batch_workload(
+            scenario.network,
+            LargeBatchWorkloadConfig(
+                num_queries=100, num_clusters=4, dominant_destination_fraction=0.5, seed=7
+            ),
+        )
+        destinations = [query.destination for query in workload]
+        dominant_share = max(destinations.count(d) for d in set(destinations)) / len(destinations)
+        assert dominant_share >= 0.4
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LargeBatchWorkloadConfig(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            LargeBatchWorkloadConfig(dominant_destination_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            LargeBatchWorkloadConfig(cluster_radius_m=0)

@@ -83,7 +83,7 @@ class TestHarness:
     def test_registry_covers_all_experiments(self, scenario):
         runner = ExperimentRunner(scenario_config=scenario.config, scenario=scenario)
         registry = runner.available_experiments()
-        assert set(registry) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "F1", "F2"}
+        assert set(registry) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2"}
 
     def test_unknown_experiment_id(self, scenario):
         runner = ExperimentRunner(scenario_config=scenario.config, scenario=scenario)

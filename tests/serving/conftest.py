@@ -1,0 +1,108 @@
+"""Fixtures for the sharded-serving tests.
+
+The shared suite scenario (9x9 city) is too small to shard: its whole extent
+fits inside one interaction radius, so every workload is a single component.
+Serving tests use a larger city whose od clusters are genuinely independent,
+plus precomputed workloads and a session sequential oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import CrowdPlanner
+from repro.datasets.synthetic_city import SyntheticCityConfig, build_scenario
+from repro.datasets.workloads import LargeBatchWorkloadConfig, generate_large_batch_workload
+from repro.serving import recommendation_fingerprint
+
+
+@pytest.fixture(scope="session")
+def serving_scenario():
+    """An 18x18 city (5.4 km extent) with several independent neighbourhoods."""
+    return build_scenario(
+        SyntheticCityConfig(
+            rows=18,
+            cols=18,
+            block_size_m=320.0,
+            num_landmarks=110,
+            num_drivers=18,
+            trips_per_driver=10,
+            num_hot_pairs=14,
+            num_workers=28,
+            seed=31,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def serving_familiarity(serving_scenario):
+    """One fitted familiarity model shared by every planner in these tests.
+
+    The familiarity fit reads the (shared, mutable) worker pool answer
+    histories, so planners fitted at different times would differ; a single
+    pre-fitted model keeps every planner — oracle and sharded alike — on
+    identical worker-selection behaviour regardless of test order.
+    """
+    planner = serving_scenario.build_planner()
+    return planner.familiarity
+
+
+@pytest.fixture(scope="session")
+def build_serving_planner(serving_scenario, serving_familiarity):
+    """Factory for planners that share the pre-fitted familiarity model."""
+
+    def build():
+        return CrowdPlanner(
+            network=serving_scenario.network,
+            catalog=serving_scenario.catalog,
+            calibrator=serving_scenario.calibrator,
+            sources=serving_scenario.sources,
+            worker_pool=serving_scenario.worker_pool,
+            crowd_backend=serving_scenario.crowd,
+            config=serving_scenario.config.planner_config,
+            familiarity=serving_familiarity,
+        )
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def serving_workload(serving_scenario):
+    return generate_large_batch_workload(
+        serving_scenario.network,
+        LargeBatchWorkloadConfig(num_queries=160, num_clusters=5, seed=77),
+    )
+
+
+@pytest.fixture(scope="session")
+def dominant_workload(serving_scenario):
+    """A workload where one destination cell receives 30% of all queries."""
+    return generate_large_batch_workload(
+        serving_scenario.network,
+        LargeBatchWorkloadConfig(
+            num_queries=160, num_clusters=5, dominant_destination_fraction=0.3, seed=77
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def sequential_oracle(build_serving_planner, serving_workload, dominant_workload):
+    """Sequential-run fingerprints and statistics per workload.
+
+    Computed once: with the shared familiarity model frozen, batch results do
+    not depend on worker answer histories or reward balances, so one oracle
+    run per workload is valid for every later comparison.
+    """
+    oracles = {}
+    for name, workload in (("plain", serving_workload), ("dominant", dominant_workload)):
+        planner = build_serving_planner()
+        results = planner.recommend_batch(workload)
+        oracles[name] = {
+            "fingerprints": [recommendation_fingerprint(result) for result in results],
+            "statistics": planner.statistics.as_dict(),
+            "truths": [
+                (t.origin, t.destination, t.time_slot, t.route.path, t.verified_by, t.confidence)
+                for t in planner.truths.all()
+            ],
+        }
+    return oracles

@@ -1,0 +1,170 @@
+"""Shard determinism: the engine's answers must be bit-identical to the
+sequential ``recommend_batch`` oracle for every worker count, execution mode
+(forked processes or inline) and component partitioning — including skewed
+workloads where one destination cell dominates."""
+
+import pytest
+
+from repro.core.planner import QueryShard, ShardPlan
+from repro.serving import ShardedRecommendationEngine, recommendation_fingerprint
+
+
+def _fingerprints(results):
+    return [recommendation_fingerprint(result) for result in results]
+
+
+class TestWorkerSweep:
+    """Acceptance criterion: workers {1, 2, 4} match the sequential oracle."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_forked_matches_sequential(
+        self, build_serving_planner, serving_workload, sequential_oracle, workers
+    ):
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=workers)
+        results = engine.recommend_batch(serving_workload)
+        assert _fingerprints(results) == sequential_oracle["plain"]["fingerprints"]
+        assert planner.statistics.as_dict() == sequential_oracle["plain"]["statistics"]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_inline_matches_sequential(
+        self, build_serving_planner, serving_workload, sequential_oracle, workers
+    ):
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=workers, use_processes=False)
+        results = engine.recommend_batch(serving_workload)
+        assert _fingerprints(results) == sequential_oracle["plain"]["fingerprints"]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_dominant_destination_cell(
+        self, build_serving_planner, dominant_workload, sequential_oracle, workers
+    ):
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=workers, use_processes=False)
+        results = engine.recommend_batch(dominant_workload)
+        assert _fingerprints(results) == sequential_oracle["dominant"]["fingerprints"]
+
+
+class TestParentStateParity:
+    def test_truth_store_matches_sequential(
+        self, build_serving_planner, serving_workload, sequential_oracle
+    ):
+        planner = build_serving_planner()
+        ShardedRecommendationEngine(planner, workers=4).recommend_batch(serving_workload)
+        merged = [
+            (t.origin, t.destination, t.time_slot, t.route.path, t.verified_by, t.confidence)
+            for t in planner.truths.all()
+        ]
+        assert merged == sequential_oracle["plain"]["truths"]
+
+    def test_truth_ids_ascend_in_submission_order(self, build_serving_planner, serving_workload):
+        planner = build_serving_planner()
+        ShardedRecommendationEngine(planner, workers=4).recommend_batch(serving_workload)
+        ids = [t.truth_id for t in planner.truths.all()]
+        assert ids == sorted(ids)
+
+    def test_second_batch_reuses_merged_truths(self, build_serving_planner, serving_workload):
+        """After the merge, a repeat of the same batch is served from truths."""
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=4)
+        engine.recommend_batch(serving_workload)
+        repeat = engine.recommend_batch(serving_workload)
+        assert all(result.method == "truth_reuse" for result in repeat)
+
+    def test_crowd_side_effects_replayed(self, build_serving_planner, serving_workload):
+        """Crowd tasks run in shards must credit the parent's reward ledger."""
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=4)
+        results = engine.recommend_batch(serving_workload)
+        crowd_results = [r for r in results if r.task_result is not None]
+        assert planner.statistics.crowd_tasks == len(crowd_results)
+        if crowd_results:
+            assert len(planner.rewards.history()) > 0
+            task_ids = [r.task_result.task.task_id for r in crowd_results]
+            # Task ids were re-issued at merge time, in submission order.
+            assert task_ids == sorted(task_ids)
+
+
+class TestEngineBasics:
+    def test_empty_batch(self, build_serving_planner):
+        engine = ShardedRecommendationEngine(build_serving_planner(), workers=4)
+        assert engine.recommend_batch([]) == []
+
+    def test_invalid_worker_count(self, build_serving_planner):
+        from repro.exceptions import CrowdPlannerError
+
+        with pytest.raises(CrowdPlannerError):
+            ShardedRecommendationEngine(build_serving_planner(), workers=0)
+
+    def test_workers_one_serves_in_process(self, build_serving_planner, serving_workload):
+        """workers=1 is the sequential path itself: no clones, parent truths
+        are recorded directly with contiguous ids."""
+        planner = build_serving_planner()
+        engine = ShardedRecommendationEngine(planner, workers=1)
+        results = engine.recommend_batch(serving_workload[:20])
+        assert len(results) == 20
+        recorded = [r for r in results if r.method != "truth_reuse"]
+        assert len(planner.truths) == len(recorded)
+
+    def test_plan_diagnostics(self, build_serving_planner, serving_workload):
+        engine = ShardedRecommendationEngine(build_serving_planner(), workers=4)
+        plan = engine.plan(serving_workload)
+        assert plan.num_queries == len(serving_workload)
+        assert 1 <= len(plan.shards) <= 4
+
+
+@pytest.mark.property
+@pytest.mark.slow
+class TestAnyPartitioningProperty:
+    """Hypothesis: *any* regrouping of interaction-closed components into any
+    number of shards reproduces the sequential oracle exactly."""
+
+    def test_random_component_partitions(
+        self, build_serving_planner, serving_workload, dominant_workload, sequential_oracle
+    ):
+        from hypothesis import given, settings, strategies as st
+
+        workloads = {"plain": serving_workload, "dominant": dominant_workload}
+
+        @settings(max_examples=12, deadline=None)
+        @given(
+            workload_name=st.sampled_from(["plain", "dominant"]),
+            shard_count=st.integers(min_value=2, max_value=6),
+            assignment_seed=st.integers(min_value=0, max_value=2**16),
+        )
+        def check(workload_name, shard_count, assignment_seed):
+            import random
+
+            workload = workloads[workload_name]
+            planner = build_serving_planner()
+            # One shard per component, then regroup them randomly: this
+            # explores partitionings the engine's own bin packing never
+            # produces.
+            atomic = planner.shard_plan(workload, shards=len(workload))
+            rng = random.Random(assignment_seed)
+            groups = [[] for _ in range(shard_count)]
+            for shard in atomic.shards:
+                groups[rng.randrange(shard_count)].append(shard)
+            shards = tuple(
+                QueryShard(
+                    shard_id=shard_id,
+                    indices=tuple(sorted(i for s in members for i in s.indices)),
+                    destination_cells=frozenset().union(*(s.destination_cells for s in members)),
+                    components=sum(s.components for s in members),
+                )
+                for shard_id, members in enumerate(groups)
+                if members
+            )
+            plan = ShardPlan(
+                shards=shards,
+                num_queries=atomic.num_queries,
+                interaction_radius_m=atomic.interaction_radius_m,
+                cell_size_m=atomic.cell_size_m,
+                cell_reach=atomic.cell_reach,
+            )
+            engine = ShardedRecommendationEngine(planner, use_processes=False)
+            results = engine.recommend_batch(workload, plan=plan)
+            assert _fingerprints(results) == sequential_oracle[workload_name]["fingerprints"]
+            assert planner.statistics.as_dict() == sequential_oracle[workload_name]["statistics"]
+
+        check()
