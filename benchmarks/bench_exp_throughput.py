@@ -1,11 +1,15 @@
-"""E8 benchmark — sharded serving throughput sweep.
+"""E8 benchmark — session-based serving throughput sweep.
 
-Shape to check: every worker count answers the large-batch workload with
-results identical to the sequential oracle (the engine's correctness
-contract).  Speedup is machine-dependent and intentionally not asserted —
-the dedicated ``crowd_shard`` suite in ``bench_hot_paths.py`` records the
-timing trajectory.
+Shape to check: every backend (inline oracle, persistent pool, per-batch
+shim) answers the steady batch stream with results identical to the
+sequential oracle (the service's correctness contract), and the persistent
+pool actually reuses its workers across batches.  Speedup is
+machine-dependent and intentionally not asserted — the dedicated
+``crowd_stream`` suite in ``bench_hot_paths.py`` records the timing
+trajectory.
 """
+
+import multiprocessing
 
 from repro.experiments import exp_throughput
 from repro.experiments.exp_throughput import ThroughputExperimentConfig
@@ -15,7 +19,9 @@ def test_e8_throughput(run_once, bench_scenario):
     result = run_once(
         lambda: exp_throughput.run(
             bench_scenario,
-            ThroughputExperimentConfig(worker_counts=(1, 2), num_queries=80, seed=131),
+            ThroughputExperimentConfig(
+                pool_sizes=(1, 2), num_batches=3, batch_size=30, seed=131
+            ),
         ),
     )
     print()
@@ -24,3 +30,8 @@ def test_e8_throughput(run_once, bench_scenario):
     for row in result.rows:
         assert row["identical_to_sequential"] is True
         assert row["queries_per_s"] > 0
+    pooled_rows = [row for row in result.rows if row["backend"] == "pooled"]
+    assert pooled_rows
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert all(row["workers_reused"] for row in pooled_rows)
+        assert all(row["warm_batches"] >= 1 for row in pooled_rows)

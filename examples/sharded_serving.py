@@ -1,14 +1,24 @@
-"""Sharded serving: answer a large query batch across worker processes.
+"""Session-based serving: a steady query stream through a persistent pool.
 
 Run with::
 
     python examples/sharded_serving.py
 
 The script builds a city large enough to hold several independent od
-neighbourhoods, generates a clustered large-batch workload, shows the shard
-plan the planner derives for it (interaction-closed components packed onto
-workers), then serves the batch sequentially and through the sharded engine
-and verifies the answers are identical — the engine's core contract.
+neighbourhoods, generates a steady stream of query batches, and serves it
+three ways:
+
+1. sequentially (`CrowdPlanner.recommend_batch` per batch — the oracle);
+2. through a session-based :class:`RecommendationService` with the
+   persistent ``pooled`` backend — the pool is forked once, workers keep
+   their truth partitions warm between batches and the parent streams
+   merged truth deltas back, so per-batch wall time drops once the pool is
+   warm;
+3. through the deprecated :class:`ShardedRecommendationEngine` shim, which
+   forks a fresh pool for every batch — the amortisation baseline (and the
+   proof that the legacy API still runs).
+
+All three produce bit-identical answers — the serving layer's contract.
 """
 
 from __future__ import annotations
@@ -19,10 +29,31 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.config import ServiceConfig
 from repro.core.planner import CrowdPlanner
 from repro.datasets import SyntheticCityConfig, build_scenario
-from repro.datasets.workloads import LargeBatchWorkloadConfig, generate_large_batch_workload
-from repro.serving import ShardedRecommendationEngine, recommendation_fingerprint
+from repro.datasets.workloads import StreamWorkloadConfig, generate_stream_workload
+from repro.serving import (
+    RecommendationService,
+    ShardedRecommendationEngine,
+    recommendation_fingerprint,
+)
+
+POOL_SIZE = 4
+
+
+def build_planner(scenario, familiarity):
+    """A planner sharing the pre-fitted familiarity model (identical starts)."""
+    return CrowdPlanner(
+        network=scenario.network,
+        catalog=scenario.catalog,
+        calibrator=scenario.calibrator,
+        sources=scenario.sources,
+        worker_pool=scenario.worker_pool,
+        crowd_backend=scenario.crowd,
+        config=scenario.config.planner_config,
+        familiarity=familiarity,
+    )
 
 
 def main() -> None:
@@ -33,54 +64,76 @@ def main() -> None:
             num_drivers=18, trips_per_driver=10, num_hot_pairs=14, num_workers=28, seed=31,
         )
     )
-    workload = generate_large_batch_workload(
+    batches = generate_stream_workload(
         scenario.network,
-        LargeBatchWorkloadConfig(num_queries=300, num_clusters=6, dominant_destination_fraction=0.1),
+        StreamWorkloadConfig(num_batches=6, batch_size=50, num_clusters=6,
+                             dominant_destination_fraction=0.1),
     )
-    print(f"Workload: {len(workload)} queries in 6 od clusters (10% to one dominant destination)\n")
+    total = sum(len(batch) for batch in batches)
+    print(f"Workload: {total} queries in {len(batches)} steady batches of ~50\n")
 
     print("Preparing the planner (familiarity matrix + PMF completion)...")
     sequential_planner = scenario.build_planner()
-    # The sharded planner shares the already-fitted familiarity model so both
-    # runs start from identical worker-selection behaviour.
-    sharded_planner = CrowdPlanner(
-        network=scenario.network,
-        catalog=scenario.catalog,
-        calibrator=scenario.calibrator,
-        sources=scenario.sources,
-        worker_pool=scenario.worker_pool,
-        crowd_backend=scenario.crowd,
-        config=scenario.config.planner_config,
-        familiarity=sequential_planner.familiarity,
-    )
-
-    engine = ShardedRecommendationEngine(sharded_planner, workers=4)
-    plan = engine.plan(workload)
-    print(f"\nShard plan (interaction radius {plan.interaction_radius_m:.0f} m, "
-          f"reach {plan.cell_reach} cells):")
-    for shard in plan.shards:
-        print(f"  shard {shard.shard_id}: {len(shard)} queries in {shard.components} component(s)")
+    familiarity = sequential_planner.familiarity
 
     print("\nServing sequentially (the oracle)...")
+    oracle = []
     started = time.perf_counter()
-    sequential = sequential_planner.recommend_batch(workload)
+    for batch in batches:
+        oracle.extend(sequential_planner.recommend_batch(batch))
     sequential_s = time.perf_counter() - started
-    print(f"  {len(workload) / sequential_s:,.0f} queries/s")
+    print(f"  {total / sequential_s:,.0f} queries/s")
 
-    print("Serving sharded (4 workers)...")
+    print(f"\nServing through RecommendationService (persistent pool of {POOL_SIZE})...")
+    service_planner = build_planner(scenario, familiarity)
+    config = ServiceConfig.from_planner_config(
+        service_planner.config, backend="pooled", pool_size=POOL_SIZE
+    )
+    responses = []
+    with RecommendationService(service_planner, config) as service:
+        plan = service.plan(batches[0])
+        print(f"  first batch shard plan: {len(plan.shards)} shard(s), "
+              f"{plan.num_components} component(s)")
+        service_s = 0.0
+        for number, batch in enumerate(batches, start=1):
+            started = time.perf_counter()
+            ticket = service.submit(batch)
+            batch_responses = service.results(ticket)
+            elapsed = time.perf_counter() - started
+            service_s += elapsed
+            responses.extend(batch_responses)
+            warm = batch_responses[0].provenance.warm_pool
+            print(f"  batch {number}: {len(batch) / elapsed:7,.0f} queries/s  "
+                  f"({'warm pool' if warm else 'cold pool (forked here)'})")
+        pids = sorted({r.provenance.worker_pid for r in responses if r.provenance.worker_pid})
+        print(f"  {total / service_s:,.0f} queries/s overall; "
+              f"worker pids {pids} stayed constant across all {len(batches)} batches")
+
+    print("\nServing through the deprecated per-batch shim (forks every batch)...")
+    shim_planner = build_planner(scenario, familiarity)
+    engine = ShardedRecommendationEngine(shim_planner, workers=POOL_SIZE)
+    shim_results = []
     started = time.perf_counter()
-    sharded = engine.recommend_batch(workload)
-    sharded_s = time.perf_counter() - started
-    print(f"  {len(workload) / sharded_s:,.0f} queries/s across {len(plan.shards)} shards")
+    for batch in batches:
+        shim_results.extend(engine.recommend_batch(batch))
+    shim_s = time.perf_counter() - started
+    print(f"  {total / shim_s:,.0f} queries/s "
+          f"(persistent pool amortised {shim_s / service_s:.2f}x of this)")
 
-    identical = [recommendation_fingerprint(r) for r in sequential] == [
-        recommendation_fingerprint(r) for r in sharded
-    ]
-    print(f"\nSharded answers identical to sequential: {identical}")
+    oracle_fp = [recommendation_fingerprint(r) for r in oracle]
+    service_fp = [recommendation_fingerprint(r.result) for r in responses]
+    shim_fp = [recommendation_fingerprint(r) for r in shim_results]
+    print(f"\nService answers identical to sequential: {service_fp == oracle_fp}")
+    print(f"Shim answers identical to sequential:    {shim_fp == oracle_fp}")
+
     methods = {}
-    for result in sharded:
-        methods[result.method] = methods.get(result.method, 0) + 1
+    truth_hits = 0
+    for response in responses:
+        methods[response.method] = methods.get(response.method, 0) + 1
+        truth_hits += response.provenance.truth_reused
     print("Resolution methods:", dict(sorted(methods.items())))
+    print(f"Warm truth-store hits: {truth_hits}/{total} "
+          f"(later batches reuse truths recorded by earlier ones)")
 
 
 if __name__ == "__main__":

@@ -10,8 +10,8 @@ scattering magic numbers through the code base.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Dict
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 from .exceptions import ConfigurationError
 
@@ -138,3 +138,94 @@ class PlannerConfig:
 
 DEFAULT_CONFIG = PlannerConfig()
 """A shared default configuration used when the caller does not supply one."""
+
+
+#: Names accepted by :attr:`ServiceConfig.backend`.
+SERVING_BACKENDS = ("inline", "pooled")
+
+
+@dataclass(frozen=True)
+class ServiceConfig(PlannerConfig):
+    """Declarative configuration of a :class:`~repro.serving.RecommendationService`.
+
+    Extends :class:`PlannerConfig` with the serving-layer knobs, so one
+    object can describe both the planner pipeline and the service wrapped
+    around it (build the planner with :meth:`planner_config`).
+
+    Attributes
+    ----------
+    backend:
+        Which :class:`~repro.serving.protocol.ServingBackend` serves batches:
+        ``"inline"`` (the sequential oracle, in-process) or ``"pooled"``
+        (the persistent forked worker pool).
+    pool_size:
+        Worker-process count of the pooled backend; ``None`` means one per
+        available CPU.
+    use_processes:
+        When ``False`` (or on platforms without ``fork``), the pooled
+        backend executes shards inline through the same clone-and-merge
+        machinery — results are identical, only the parallelism is lost.
+    max_pending_batches:
+        Submission-queue bound: :meth:`RecommendationService.submit` raises
+        :class:`~repro.exceptions.ServingError` once this many submitted
+        batches await collection.
+    merge_every_batches:
+        Cadence at which the parent pushes merged truth deltas to pool
+        workers that sat out recent batches.  Workers taking part in a batch
+        always receive the deltas they are missing with their shard
+        dispatch, so this only bounds how stale an *idle* worker's warm
+        partition may grow — it never affects results.
+    stream_batch_size:
+        Default batch size of :meth:`RecommendationService.stream`.
+    share_candidate_generation:
+        Default for the batch-level candidate-generation memo (see
+        :meth:`CrowdPlanner.recommend_batch`); never changes answers.
+    """
+
+    backend: str = "pooled"
+    pool_size: Optional[int] = None
+    use_processes: bool = True
+    max_pending_batches: int = 16
+    merge_every_batches: int = 1
+    stream_batch_size: int = 32
+    share_candidate_generation: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.backend not in SERVING_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {SERVING_BACKENDS}, got {self.backend!r}"
+            )
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ConfigurationError("pool_size must be at least 1 (or None for one per CPU)")
+        if self.max_pending_batches < 1:
+            raise ConfigurationError("max_pending_batches must be at least 1")
+        if self.merge_every_batches < 1:
+            raise ConfigurationError("merge_every_batches must be at least 1")
+        if self.stream_batch_size < 1:
+            raise ConfigurationError("stream_batch_size must be at least 1")
+
+    @classmethod
+    def from_planner_config(cls, config: PlannerConfig, **overrides: Any) -> "ServiceConfig":
+        """Lift a planner configuration into a service configuration."""
+        base = {field.name: getattr(config, field.name) for field in fields(PlannerConfig)}
+        base.update(overrides)
+        return cls(**base)
+
+    def planner_config(self) -> PlannerConfig:
+        """The embedded planner-level configuration (for building the planner)."""
+        return PlannerConfig(
+            **{field.name: getattr(self, field.name) for field in fields(PlannerConfig)}
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        report = super().to_dict()
+        planner_fields = {field.name for field in fields(PlannerConfig)}
+        for field in fields(self):
+            if field.name not in planner_fields:
+                report[field.name] = getattr(self, field.name)
+        return report
+
+
+DEFAULT_SERVICE_CONFIG = ServiceConfig()
+"""A shared default service configuration."""

@@ -37,9 +37,9 @@ from .early_stop import EarlyStopMonitor
 from .evaluation import EvaluationDecision, EvaluationOutcome, RouteEvaluator
 from .familiarity import FamiliarityModel
 from .rewards import RewardLedger
-from .task import Task, TaskResult, WorkerResponse
+from .task import Task, TaskResult, WorkerResponse, reissue_task_id
 from .task_generation import TaskGenerator
-from .truth import TruthDatabase
+from .truth import TruthDatabase, VerifiedTruth
 from .worker import WorkerPool
 from .worker_selection import WorkerSelector
 
@@ -538,6 +538,31 @@ class CrowdPlanner:
             evaluation=outcome,
             task_result=result,
         )
+
+    # ------------------------------------------------------- serving hooks
+    def truth_cursor(self) -> int:
+        """Position marker into the truth store's record order (delta export).
+
+        Capture before handing state to a serving worker; pass to
+        :meth:`truth_delta` later to get exactly the truths recorded since.
+        """
+        return len(self.truths)
+
+    def truth_delta(self, cursor: int) -> List["VerifiedTruth"]:
+        """The truths recorded/absorbed since ``cursor`` (see :meth:`truth_cursor`)."""
+        return self.truths.truths_since(cursor)
+
+    def replay_task_result(self, result: TaskResult) -> None:
+        """Replay a crowd task executed elsewhere onto this planner's state.
+
+        Re-issues the task id from this process's sequence (shard-local ids
+        are process-local serials) and credits worker answer histories and
+        rewards exactly as :meth:`_crowdsource` would have — the serving
+        layer's merge step for crowd side effects.
+        """
+        reissue_task_id(result.task)
+        self._update_answer_history(result)
+        self.rewards.reward_task(result)
 
     def _update_answer_history(self, result: TaskResult) -> None:
         """Credit each answered question as correct/wrong against the verified winner."""

@@ -20,7 +20,34 @@ from ..roadnet.graph import RoadNetwork
 from ..routing.base import CandidateRoute, RouteQuery
 from ..spatial import GridIndex, Point
 
-_truth_ids = itertools.count(1)
+class _TruthIdSequence:
+    """Process-global truth-id sequence.
+
+    Unlike a bare :func:`itertools.count`, the sequence can be advanced past
+    externally issued ids: when a serving worker adopts truths merged by the
+    parent process (:meth:`TruthDatabase.adopt_all`), its local sequence must
+    jump past the adopted ids so locally recorded truths keep the sequential
+    invariant "newer truth => larger id" — the id is the deterministic
+    tie-break of :meth:`TruthDatabase.lookup`.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def advance_past(self, value: int) -> None:
+        """Ensure the next issued id is strictly greater than ``value``."""
+        if value >= self._next:
+            self._next = value + 1
+
+
+_truth_ids = _TruthIdSequence()
 
 
 @dataclass(frozen=True)
@@ -84,7 +111,7 @@ class TruthDatabase:
         if not 0.0 <= confidence <= 1.0:
             raise TruthStoreError("confidence must be in [0, 1]")
         truth = VerifiedTruth(
-            truth_id=next(_truth_ids),
+            truth_id=_truth_ids.next(),
             origin=self.network.node_location(query.origin),
             destination=self.network.node_location(query.destination),
             time_slot=self.time_slot_of(query.departure_time_s),
@@ -130,6 +157,22 @@ class TruthDatabase:
             partition._adopt(self._truths[truth_id])
         return partition
 
+    def view_by_cells(self, cells: Iterable[Tuple[int, int]]) -> "TruthDatabaseView":
+        """A copy-on-write view of the truths whose destination falls in ``cells``.
+
+        Semantically identical to :meth:`partition_by_cells` — same member
+        set, same lookup/neighbourhood answers, same ``all()`` order — but
+        built in O(members) *without copying* the member truths into new
+        spatial indexes: reads consult this store's indexes filtered by the
+        membership set, while writes (:meth:`record`) land in a private
+        overlay.  This is how serving shards are seeded: a shard ships (or,
+        under ``fork``, inherits) only the destination-cell index slice
+        instead of a materialised partition.  The base store must not be
+        mutated while the view is live (the serving layer merges shard
+        writes back only after every shard has finished).
+        """
+        return TruthDatabaseView(self, cells)
+
     def absorb(self, truths: Iterable[VerifiedTruth]) -> List[VerifiedTruth]:
         """Merge truths recorded in partitions back, assigning fresh ids.
 
@@ -142,7 +185,7 @@ class TruthDatabase:
         merged: List[VerifiedTruth] = []
         for truth in truths:
             renumbered = VerifiedTruth(
-                truth_id=next(_truth_ids),
+                truth_id=_truth_ids.next(),
                 origin=truth.origin,
                 destination=truth.destination,
                 time_slot=truth.time_slot,
@@ -154,6 +197,22 @@ class TruthDatabase:
             merged.append(renumbered)
         return merged
 
+    def adopt_all(self, truths: Iterable[VerifiedTruth]) -> None:
+        """Adopt already-issued truths *keeping their ids* (delta import hook).
+
+        This is the receiving end of the serving layer's truth streaming: a
+        pool worker applies the parent's merged deltas to its warm base store
+        so later batches observe them exactly as the parent does.  Ids are
+        preserved (they are the lookup tie-break, so relative order must
+        match the parent) and the process-local id sequence is advanced past
+        them, keeping locally recorded truths strictly newer.
+        """
+        for truth in truths:
+            if truth.truth_id in self._truths:
+                raise TruthStoreError(f"truth id {truth.truth_id} already present")
+            self._adopt(truth)
+            _truth_ids.advance_past(truth.truth_id)
+
     # ------------------------------------------------------------------ read
     def get(self, truth_id: int) -> VerifiedTruth:
         try:
@@ -163,6 +222,35 @@ class TruthDatabase:
 
     def all(self) -> List[VerifiedTruth]:
         return list(self._truths.values())
+
+    def truths_since(self, position: int) -> List[VerifiedTruth]:
+        """Truths recorded/absorbed after the first ``position`` (delta export).
+
+        ``position`` is a cursor previously captured as ``len(store)``;
+        record order is stable and truths are never removed, so the slice is
+        exactly what a consumer synced at ``position`` is missing.
+        """
+        if position <= 0:
+            return self.all()
+        if position >= len(self._truths):
+            return []  # the common already-synced case: no O(store) walk
+        return list(itertools.islice(self._truths.values(), position, None))
+
+    # The two match helpers are the only spatial read primitives ``lookup``
+    # and ``truths_near`` consume; :class:`TruthDatabaseView` overrides them
+    # (plus ``_truth_by_id``) to serve base-slice + overlay reads.
+    def _origin_matches(self, point: Point, radius_m: float) -> List[Tuple[int, float]]:
+        """``(truth_id, distance)`` with origin within ``radius_m``, ranked
+        by increasing distance with record-order tie-breaking."""
+        return self._origin_index.within_radius(point, radius_m)
+
+    def _destination_matches(self, point: Point, radius_m: float) -> List[Tuple[int, float]]:
+        """``(truth_id, distance)`` with destination within ``radius_m``,
+        ranked like :meth:`_origin_matches`."""
+        return self._destination_index.within_radius(point, radius_m)
+
+    def _truth_by_id(self, truth_id: int) -> VerifiedTruth:
+        return self._truths[truth_id]
 
     def lookup(self, query: RouteQuery) -> Optional[VerifiedTruth]:
         """Return a reusable truth for ``query`` or ``None``.
@@ -175,13 +263,13 @@ class TruthDatabase:
         slot = self.time_slot_of(query.departure_time_s)
         radius = self.config.truth_reuse_radius_m
         near_destination = {
-            truth_id for truth_id, _ in self._destination_index.within_radius(destination, radius)
+            truth_id for truth_id, _ in self._destination_matches(destination, radius)
         }
         matches: List[Tuple[float, VerifiedTruth]] = []
-        for truth_id, origin_distance in self._origin_index.within_radius(origin, radius):
+        for truth_id, origin_distance in self._origin_matches(origin, radius):
             if truth_id not in near_destination:
                 continue
-            truth = self._truths[truth_id]
+            truth = self._truth_by_id(truth_id)
             if truth.time_slot != slot:
                 continue
             matches.append((origin_distance, truth))
@@ -207,13 +295,13 @@ class TruthDatabase:
         per-truth Python distance filter.
         """
         near_destination = {
-            truth_id for truth_id, _ in self._destination_index.within_radius(destination, radius_m)
+            truth_id for truth_id, _ in self._destination_matches(destination, radius_m)
         }
         results = []
-        for truth_id, _ in self._origin_index.within_radius(origin, radius_m):
+        for truth_id, _ in self._origin_matches(origin, radius_m):
             if truth_id not in near_destination:
                 continue
-            truth = self._truths[truth_id]
+            truth = self._truth_by_id(truth_id)
             if time_slot is not None and truth.time_slot != time_slot:
                 continue
             results.append(truth)
@@ -224,3 +312,104 @@ class TruthDatabase:
         if total <= 0:
             return 0.0
         return hits / total
+
+
+def _merge_ranked(
+    primary: List[Tuple[int, float]], secondary: List[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Merge two distance-ranked match lists, primary winning distance ties.
+
+    Both inputs are sorted by increasing distance with record-order
+    tie-breaking; in a materialised partition every primary (base) truth was
+    inserted before any secondary (overlay) truth, so at equal distance the
+    primary entry enumerates first.  A stable two-way merge reproduces the
+    partition's enumeration exactly.
+    """
+    if not secondary:
+        return primary
+    if not primary:
+        return secondary
+    merged: List[Tuple[int, float]] = []
+    i = j = 0
+    while i < len(primary) and j < len(secondary):
+        if secondary[j][1] < primary[i][1]:
+            merged.append(secondary[j])
+            j += 1
+        else:
+            merged.append(primary[i])
+            i += 1
+    merged.extend(primary[i:])
+    merged.extend(secondary[j:])
+    return merged
+
+
+class TruthDatabaseView(TruthDatabase):
+    """Copy-on-write destination-cell slice of a :class:`TruthDatabase`.
+
+    Reads see the base store's truths whose destination falls in the view's
+    cells plus everything recorded through the view; writes go only to the
+    view's private overlay (the structures inherited from
+    :class:`TruthDatabase` act as the overlay), so the base store is never
+    touched.  Answers — ``lookup``, ``truths_near``, ``all()`` order,
+    ``len`` — are identical to a :meth:`TruthDatabase.partition_by_cells`
+    partition over the same cells (the shard tests assert this), while
+    construction is O(members) set/list building with no index copies.
+
+    The base store must stay unmutated while the view is live; views are not
+    themselves partitionable (build views from the base instead).
+    """
+
+    def __init__(self, base: TruthDatabase, cells: Iterable[Tuple[int, int]]):
+        if isinstance(base, TruthDatabaseView):
+            raise TruthStoreError("cannot build a view over a view; use the base store")
+        super().__init__(base.network, base.config)
+        self._base = base
+        # ``items_in_cells`` returns members in record order (ascending slot),
+        # which is also ascending truth-id order — the order a materialised
+        # partition would adopt them in.
+        self._member_order = base._destination_index.items_in_cells(cells)
+        self._member_ids = frozenset(self._member_order)
+
+    # ------------------------------------------------------------- overrides
+    def __len__(self) -> int:
+        return len(self._member_order) + len(self._truths)
+
+    def all(self) -> List[VerifiedTruth]:
+        base_truths = self._base._truths
+        return [base_truths[truth_id] for truth_id in self._member_order] + list(
+            self._truths.values()
+        )
+
+    def truths_since(self, position: int) -> List[VerifiedTruth]:
+        return self.all()[max(position, 0):]
+
+    def get(self, truth_id: int) -> VerifiedTruth:
+        if truth_id in self._truths:
+            return self._truths[truth_id]
+        if truth_id in self._member_ids:
+            return self._base._truths[truth_id]
+        raise TruthStoreError(f"unknown truth id {truth_id}")
+
+    _truth_by_id = get
+
+    def _origin_matches(self, point: Point, radius_m: float) -> List[Tuple[int, float]]:
+        members = [
+            (truth_id, distance)
+            for truth_id, distance in self._base._origin_index.within_radius(point, radius_m)
+            if truth_id in self._member_ids
+        ]
+        return _merge_ranked(members, self._origin_index.within_radius(point, radius_m))
+
+    def _destination_matches(self, point: Point, radius_m: float) -> List[Tuple[int, float]]:
+        members = [
+            (truth_id, distance)
+            for truth_id, distance in self._base._destination_index.within_radius(point, radius_m)
+            if truth_id in self._member_ids
+        ]
+        return _merge_ranked(members, self._destination_index.within_radius(point, radius_m))
+
+    def partition_by_cells(self, cells: Iterable[Tuple[int, int]]) -> "TruthDatabase":
+        raise TruthStoreError("cannot partition a view; partition the base store")
+
+    def view_by_cells(self, cells: Iterable[Tuple[int, int]]) -> "TruthDatabaseView":
+        raise TruthStoreError("cannot build a view over a view; use the base store")

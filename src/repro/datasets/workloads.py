@@ -207,6 +207,57 @@ def generate_large_batch_workload(
     return shuffled(queries, rng)
 
 
+@dataclass(frozen=True)
+class StreamWorkloadConfig:
+    """Parameters of the steady request stream (consecutive service batches)."""
+
+    num_batches: int = 6
+    batch_size: int = 40
+    num_clusters: int = 8
+    dominant_destination_fraction: float = 0.0
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.num_batches < 1:
+            raise ConfigurationError("num_batches must be at least 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        if not 0 <= self.dominant_destination_fraction <= 1:
+            raise ConfigurationError("dominant_destination_fraction must be in [0, 1]")
+
+
+def generate_stream_workload(
+    network: RoadNetwork,
+    config: Optional[StreamWorkloadConfig] = None,
+) -> List[List[RouteQuery]]:
+    """A steady request stream, as the consecutive batches a service sees.
+
+    The queries are one clustered large-batch workload
+    (:func:`generate_large_batch_workload`) chunked into ``num_batches``
+    submission batches, so consecutive batches revisit the same od
+    neighbourhoods — the warm-truth / warm-worker regime the session-based
+    :class:`~repro.serving.RecommendationService` amortises.  Feed the
+    batches to ``service.submit``/``results`` (or chain them through
+    ``service.stream``); answering them in batch order is equivalent to one
+    sequential pass over the concatenated stream, which is the serving
+    layer's oracle.
+    """
+    config = config or StreamWorkloadConfig()
+    queries = generate_large_batch_workload(
+        network,
+        LargeBatchWorkloadConfig(
+            num_queries=config.num_batches * config.batch_size,
+            num_clusters=config.num_clusters,
+            dominant_destination_fraction=config.dominant_destination_fraction,
+            seed=config.seed,
+        ),
+    )
+    return [
+        queries[start:start + config.batch_size]
+        for start in range(0, len(queries), config.batch_size)
+    ]
+
+
 def _farthest_point_centers(
     network: RoadNetwork, node_ids: Sequence[int], count: int, rng
 ) -> List[int]:

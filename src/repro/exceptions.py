@@ -81,3 +81,8 @@ class TruthStoreError(CrowdPlannerError):
 
 class ConfigurationError(CrowdPlannerError):
     """Invalid configuration value."""
+
+
+class ServingError(CrowdPlannerError):
+    """Invalid interaction with the recommendation service (closed service,
+    unknown or already-collected ticket, full submission queue, dead pool)."""

@@ -1,29 +1,38 @@
-"""E8 — Serving throughput: sharded batch serving across worker processes.
+"""E8 — Serving throughput: the session-based service over a steady stream.
 
-The serving engine (:mod:`repro.serving`) answers large query batches by
-partitioning od-cell components across a process pool, shipping each shard a
-destination-cell partition of the truth store, and merging results in
-submission order.  This experiment sweeps the worker count over a clustered
-large-batch workload (with a dominant destination cell mixed in, the skew
-case) and reports, per worker count, the wall time, throughput, speedup over
-the sequential oracle, the shard plan's shape — and, crucially, whether the
-answers were identical to the sequential run, which is the engine's
-correctness contract.
+The serving layer (:mod:`repro.serving`) answers a stream of query batches
+through a :class:`~repro.serving.RecommendationService`.  This experiment
+replays the same steady stream (clustered neighbourhoods with a dominant
+destination cell mixed in — the skew case) through every configured backend:
+the ``inline`` sequential oracle and the ``pooled`` persistent worker pool
+at several pool sizes, plus the deprecated per-batch-fork shim as the
+amortisation baseline.  Per run it reports wall time, throughput, speedup
+over the sequential oracle, how many batches ran on a warm (already-forked)
+pool, whether workers were reused without re-forking — and, crucially,
+whether every answer was identical to the sequential run, which is the
+service's correctness contract.
 
 Wall-clock numbers are machine-dependent (a single-core container shows the
-sharding *overhead* rather than a speedup); the identical-answers column must
-hold everywhere.
+pooling *overhead* rather than a speedup; the fork-amortisation delta of
+``pooled`` vs ``per_batch`` survives even there); the identical-answers
+column must hold everywhere.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
+from ..config import ServiceConfig
 from ..datasets.synthetic_city import Scenario
-from ..datasets.workloads import LargeBatchWorkloadConfig, generate_large_batch_workload
-from ..serving import ShardedRecommendationEngine, recommendation_fingerprint
+from ..datasets.workloads import StreamWorkloadConfig, generate_stream_workload
+from ..serving import (
+    RecommendationService,
+    ShardedRecommendationEngine,
+    recommendation_fingerprint,
+)
 from .metrics import ExperimentResult
 
 
@@ -31,43 +40,66 @@ from .metrics import ExperimentResult
 class ThroughputExperimentConfig:
     """Workload and sweep parameters for E8."""
 
-    worker_counts: Tuple[int, ...] = (1, 2, 4)
-    num_queries: int = 240
+    pool_sizes: Tuple[int, ...] = (1, 2, 4)
+    backends: Tuple[str, ...] = ("inline", "pooled", "per_batch")
+    num_batches: int = 4
+    batch_size: int = 60
     num_clusters: int = 6
     dominant_destination_fraction: float = 0.15
     use_processes: bool = True
     seed: int = 131
 
 
+def _serve_stream(service: RecommendationService, batches: List[list]):
+    """Run the stream through a service; returns (responses, wall seconds)."""
+    responses = []
+    started = time.perf_counter()
+    for batch in batches:
+        responses.extend(service.results(service.submit(batch)))
+    return responses, time.perf_counter() - started
+
+
 def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None) -> ExperimentResult:
     """Run E8 on a built scenario."""
     config = config or ThroughputExperimentConfig()
-    workload = generate_large_batch_workload(
+    batches = generate_stream_workload(
         scenario.network,
-        LargeBatchWorkloadConfig(
-            num_queries=config.num_queries,
+        StreamWorkloadConfig(
+            num_batches=config.num_batches,
+            batch_size=config.batch_size,
             num_clusters=config.num_clusters,
             dominant_destination_fraction=config.dominant_destination_fraction,
             seed=config.seed,
         ),
     )
+    num_queries = sum(len(batch) for batch in batches)
 
     # Every run must start from the same planner state; the familiarity fit
     # reads the (shared) worker pool's answer histories, so all planners are
     # built before any batch runs.
     sequential_planner = scenario.build_planner()
-    sharded_planners = {workers: scenario.build_planner() for workers in config.worker_counts}
+    runs = []
+    for backend in config.backends:
+        pool_sizes = (1,) if backend == "inline" else config.pool_sizes
+        for pool_size in pool_sizes:
+            runs.append((backend, pool_size, scenario.build_planner()))
 
     started = time.perf_counter()
-    sequential_results = sequential_planner.recommend_batch(workload)
+    oracle: List[tuple] = []
+    for batch in batches:
+        oracle.extend(
+            recommendation_fingerprint(result)
+            for result in sequential_planner.recommend_batch(batch)
+        )
     sequential_time = time.perf_counter() - started
-    oracle = [recommendation_fingerprint(result) for result in sequential_results]
 
     result = ExperimentResult(
         experiment_id="E8",
-        title="Sharded serving throughput vs the sequential oracle",
+        title="Session-based serving throughput vs the sequential oracle",
         notes={
-            "num_queries": len(workload),
+            "num_queries": num_queries,
+            "num_batches": len(batches),
+            "batch_size": config.batch_size,
             "num_clusters": config.num_clusters,
             "dominant_destination_fraction": config.dominant_destination_fraction,
             "use_processes": config.use_processes,
@@ -75,24 +107,57 @@ def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None)
     )
 
     all_identical = True
-    for workers in config.worker_counts:
-        engine = ShardedRecommendationEngine(
-            sharded_planners[workers], workers=workers, use_processes=config.use_processes
-        )
-        plan = engine.plan(workload, workers)
-        started = time.perf_counter()
-        sharded_results = engine.recommend_batch(workload)
-        elapsed = time.perf_counter() - started
-        identical = [recommendation_fingerprint(r) for r in sharded_results] == oracle
+    for backend_name, pool_size, planner in runs:
+        if backend_name == "per_batch":
+            # The deprecated shim: fork a fresh pool every batch (baseline).
+            engine = ShardedRecommendationEngine(
+                planner, workers=pool_size, use_processes=config.use_processes
+            )
+            started = time.perf_counter()
+            results = []
+            for batch in batches:
+                results.extend(engine.recommend_batch(batch))
+            elapsed = time.perf_counter() - started
+            fingerprints = [recommendation_fingerprint(r) for r in results]
+            warm_batches = 0
+            worker_reuse = False
+        else:
+            service_config = ServiceConfig.from_planner_config(
+                planner.config,
+                backend=backend_name,
+                pool_size=pool_size,
+                use_processes=config.use_processes,
+            )
+            with RecommendationService(planner, service_config) as service:
+                responses, elapsed = _serve_stream(service, batches)
+                pids_per_batch = {}
+                for response in responses:
+                    if response.provenance.worker_pid is not None:
+                        pids_per_batch.setdefault(response.provenance.batch_id, set()).add(
+                            response.provenance.worker_pid
+                        )
+            fingerprints = [recommendation_fingerprint(r.result) for r in responses]
+            warm_batches = len({r.provenance.batch_id for r in responses if r.provenance.warm_pool})
+            if backend_name == "pooled" and len(pids_per_batch) > 1:
+                all_pids = set().union(*pids_per_batch.values())
+                # Real reuse means actual pool workers (not the parent, which
+                # is the pid the inline fallback stamps) served every batch.
+                worker_reuse = (
+                    len(all_pids) <= max(pool_size, 1) and os.getpid() not in all_pids
+                )
+            else:
+                worker_reuse = False
+
+        identical = fingerprints == oracle
         all_identical = all_identical and identical
         result.add_row(
-            workers=workers,
+            backend=backend_name,
+            pool_size=pool_size,
             wall_time_s=elapsed,
-            queries_per_s=len(workload) / elapsed if elapsed > 0 else float("inf"),
+            queries_per_s=num_queries / elapsed if elapsed > 0 else float("inf"),
             speedup_vs_sequential=sequential_time / elapsed if elapsed > 0 else float("inf"),
-            shards=len(plan.shards),
-            components=plan.num_components,
-            largest_shard_fraction=plan.largest_shard_fraction(),
+            warm_batches=warm_batches,
+            workers_reused=worker_reuse,
             identical_to_sequential=identical,
         )
 
@@ -100,7 +165,7 @@ def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None)
         {
             "sequential_wall_time_s": sequential_time,
             "sequential_queries_per_s": (
-                len(workload) / sequential_time if sequential_time > 0 else float("inf")
+                num_queries / sequential_time if sequential_time > 0 else float("inf")
             ),
             "all_runs_identical_to_sequential": all_identical,
             "best_speedup": max((row["speedup_vs_sequential"] for row in result.rows), default=0.0),

@@ -33,6 +33,7 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -50,21 +51,19 @@ METRIC_TIME = "time"
 class _SearchState:
     """Preallocated scratch arrays for one concurrent graph search.
 
-    ``stamp``/``settled``/``hstamp`` hold the generation number at which the
+    ``stamp``/``settled`` hold the generation number at which the
     corresponding entry was last written; comparing against the current
     generation makes "clearing" the arrays an O(1) counter increment instead
     of an O(n) fill.
     """
 
-    __slots__ = ("dist", "parent", "stamp", "settled", "hval", "hstamp", "generation")
+    __slots__ = ("dist", "parent", "stamp", "settled", "generation")
 
     def __init__(self, size: int):
         self.dist: List[float] = [0.0] * size
         self.parent: List[int] = [-1] * size
         self.stamp: List[int] = [0] * size
         self.settled: List[int] = [0] * size
-        self.hval: List[float] = [0.0] * size
-        self.hstamp: List[int] = [0] * size
         self.generation = 0
 
     def next_generation(self) -> int:
@@ -118,6 +117,9 @@ class CompiledGraph:
         self._metric_adjacency: Dict[str, List[List[Tuple[float, int, int]]]] = {}
         self._arrays: Optional[Dict[str, np.ndarray]] = None
         self._state_pool: List[_SearchState] = []
+        # Per-destination A* heuristic columns, LRU-bounded (see
+        # :meth:`heuristic_column`).
+        self._heuristic_columns: "OrderedDict[Tuple[int, float], List[float]]" = OrderedDict()
 
     # ------------------------------------------------------------- structure
     @property
@@ -272,6 +274,50 @@ class CompiledGraph:
             }
         return self._arrays
 
+    #: Heuristic columns kept per graph; beyond this many (destination,
+    #: scale) pairs the least recently used column is dropped.
+    HEURISTIC_CACHE_LIMIT = 128
+
+    def heuristic_column(self, destination: int, heuristic_scale: float = 1.0) -> List[float]:
+        """Per-node straight-line heuristic values towards ``destination``.
+
+        The column is the whole-graph precomputation of the A* heuristic —
+        ``hypot(x - goal_x, y - goal_y) / scale`` for every node — built once
+        per (destination, scale) and cached LRU-bounded, so repeated searches
+        towards the same goal (production traffic is dominated by hot
+        destinations) pay zero heuristic arithmetic after the first query.
+
+        Values are computed with :func:`math.hypot`, *not* ``np.hypot``: the
+        two can disagree in the last ulp, and heuristic ulps change heap
+        ordering — the column must reproduce the reference implementation's
+        arithmetic exactly for searches to stay bit-identical to it.
+
+        Trade-off: a cold destination pays one whole-graph pass up front
+        (the former lazy scheme paid only for touched nodes).  On city-scale
+        graphs a guided search touches a large fraction of the nodes anyway
+        and hot-destination traffic dominates, so the column wins overall;
+        for huge graphs with mostly one-off destinations a lazy first-hit
+        hybrid would be the next step (see ROADMAP).
+        """
+        key = (destination, heuristic_scale)
+        column = self._heuristic_columns.get(key)
+        if column is not None:
+            self._heuristic_columns.move_to_end(key)
+            return column
+        hypot = math.hypot
+        goal_x, goal_y = self.xs[destination], self.ys[destination]
+        if heuristic_scale == 1.0:
+            column = [hypot(x - goal_x, y - goal_y) for x, y in zip(self.xs, self.ys)]
+        else:
+            column = [
+                hypot(x - goal_x, y - goal_y) / heuristic_scale
+                for x, y in zip(self.xs, self.ys)
+            ]
+        self._heuristic_columns[key] = column
+        if len(self._heuristic_columns) > self.HEURISTIC_CACHE_LIMIT:
+            self._heuristic_columns.popitem(last=False)
+        return column
+
     # ------------------------------------------------------------ state pool
     def _acquire_state(self) -> _SearchState:
         if self._state_pool:
@@ -344,28 +390,23 @@ class CompiledGraph:
 
         ``heuristic_scale`` divides the Euclidean distance (1.0 for length
         costs; metres-per-second of the fastest road for time costs).  The
-        heuristic is computed lazily per node with :func:`math.hypot` —
-        identical arithmetic to the reference — and cached in the search
-        state, so repeated searches towards the same goal reuse nothing but
-        also recompute only what they touch.
+        heuristic comes from the precomputed per-destination
+        :meth:`heuristic_column` — identical arithmetic to the reference —
+        so repeated searches towards the same goal (and every relaxation
+        within one search) index a ready column instead of recomputing
+        ``hypot`` per touched node.
         """
+        heuristic = self.heuristic_column(destination, heuristic_scale)
         state = self._acquire_state()
         try:
             gen = state.next_generation()
             dist, parent, stamp, settled = state.dist, state.parent, state.stamp, state.settled
-            hval, hstamp = state.hval, state.hstamp
-            xs, ys = self.xs, self.ys
-            goal_x, goal_y = xs[destination], ys[destination]
-            hypot = math.hypot
             heappush, heappop = heapq.heappush, heapq.heappop
 
             dist[origin] = 0.0
             parent[origin] = -1
             stamp[origin] = gen
-            origin_h = hypot(xs[origin] - goal_x, ys[origin] - goal_y)
-            if heuristic_scale != 1.0:
-                origin_h /= heuristic_scale
-            frontier: List[Tuple[float, int, int]] = [(origin_h, 0, origin)]
+            frontier: List[Tuple[float, int, int]] = [(heuristic[origin], 0, origin)]
             counter = 1
             while frontier:
                 _, _, current = heappop(frontier)
@@ -381,15 +422,7 @@ class CompiledGraph:
                         dist[target] = candidate
                         parent[target] = current
                         stamp[target] = gen
-                        if hstamp[target] == gen:
-                            h = hval[target]
-                        else:
-                            h = hypot(xs[target] - goal_x, ys[target] - goal_y)
-                            if heuristic_scale != 1.0:
-                                h /= heuristic_scale
-                            hval[target] = h
-                            hstamp[target] = gen
-                        heappush(frontier, (candidate + h, counter, target))
+                        heappush(frontier, (candidate + heuristic[target], counter, target))
                         counter += 1
             return None
         finally:

@@ -144,7 +144,10 @@ def astar_path(
 
     With the default length cost the heuristic is the Euclidean distance to
     the destination.  For time costs, pass ``heuristic_speed_kmh`` as the
-    fastest speed in the network so the heuristic stays admissible.
+    fastest speed in the network so the heuristic stays admissible.  The
+    heuristic is a per-destination column precomputed on the compiled graph
+    (:meth:`CompiledGraph.heuristic_column`), so repeated queries towards
+    the same goal pay no heuristic arithmetic after the first.
     """
     compiled = network.compiled()
     source, target = _endpoint_indices(network, compiled, origin, destination)

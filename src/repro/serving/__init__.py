@@ -1,30 +1,57 @@
-"""Sharded, multi-process batch serving of route recommendations.
+"""Session-based serving of route recommendations.
 
-This package scales :meth:`~repro.core.planner.CrowdPlanner.recommend_batch`
-across OS processes while keeping its answers *bit-identical* to the
-sequential path, which stays in place as the behavioural oracle:
+This package turns :meth:`~repro.core.planner.CrowdPlanner.recommend_batch`
+into a *service* while keeping its answers bit-identical to the sequential
+path, which stays in place as the behavioural oracle:
 
-* :meth:`CrowdPlanner.shard_plan` splits a batch into interaction-closed
-  shards — no truth recorded for a query in one shard can be observed by a
-  query in another;
-* each worker process receives a planner clone over a destination-cell
-  partition of the :class:`~repro.core.truth.TruthDatabase` (plus the shared
-  compiled road network) and runs the existing per-group batch path;
-* :class:`ShardedRecommendationEngine` merges the shard results back in
-  submission order, replaying recorded truths, worker answer histories and
-  rewards onto the parent planner so its post-batch state matches a
-  sequential run.
+* :class:`RecommendationService` — the public surface: ``submit``/``results``
+  tickets, ``stream`` pipelining, unified
+  :class:`RecommendRequest`/:class:`RecommendResponse` envelopes with
+  per-result provenance, and a context-managed lifecycle;
+* :class:`ServingBackend` — the pluggable execution strategy:
+  :class:`InlineBackend` (the sequential oracle) or :class:`PooledBackend`,
+  a **persistent** forked worker pool whose workers keep warm
+  :class:`~repro.core.truth.TruthDatabase` state between batches and
+  receive merged truth deltas streamed from the parent;
+* :mod:`~repro.serving.shards` — the shard clone/execute/merge primitives
+  every pooled path shares (interaction-closed shards over copy-on-write
+  truth views, submission-order merge);
+* :class:`ShardedRecommendationEngine` — the deprecated per-batch shim kept
+  for backwards compatibility and as the fork-per-batch baseline.
 
-``workers=1`` (and any platform without ``fork``) serves in-process with no
-subprocesses at all, so the engine stays deterministic everywhere.
+The service contract — for any backend, pool size and submission
+interleaving, results and post-batch planner state match the sequential
+oracle exactly (up to process-local serials, see
+:func:`recommendation_fingerprint`) — is enforced by the ``tests/serving``
+suites and the ``crowd_shard``/``crowd_stream`` benchmark gates.
 """
 
-from .engine import (
-    ShardedRecommendationEngine,
+from .engine import ShardedRecommendationEngine
+from .protocol import (
+    BatchTimings,
+    RecommendRequest,
+    RecommendResponse,
+    ResultProvenance,
+    ServingBackend,
+    Ticket,
     recommendation_fingerprint,
+    response_fingerprint,
+    wrap_requests,
 )
+from .service import InlineBackend, PooledBackend, RecommendationService
 
 __all__ = [
+    "BatchTimings",
+    "InlineBackend",
+    "PooledBackend",
+    "RecommendRequest",
+    "RecommendResponse",
+    "RecommendationService",
+    "ResultProvenance",
+    "ServingBackend",
     "ShardedRecommendationEngine",
+    "Ticket",
     "recommendation_fingerprint",
+    "response_fingerprint",
+    "wrap_requests",
 ]

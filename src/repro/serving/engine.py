@@ -1,97 +1,53 @@
-"""The sharded batch-recommendation engine.
+"""Deprecated per-batch sharded engine — a thin shim over the service.
 
-:class:`ShardedRecommendationEngine` wraps a prepared
-:class:`~repro.core.planner.CrowdPlanner` and answers query batches across a
-``multiprocessing`` worker pool:
+:class:`ShardedRecommendationEngine` predates the session-based
+:class:`~repro.serving.service.RecommendationService` and is kept only for
+backwards compatibility (and as the per-batch-fork baseline the
+``crowd_stream`` benchmark measures the persistent pool against).  Each
+:meth:`recommend_batch` call builds a one-shot service around a
+**non-persistent** :class:`~repro.serving.service.PooledBackend` — fork the
+pool, serve the batch, stop the pool — which is exactly the old engine's
+cost model, now expressed through the same shard/merge machinery the
+persistent pool uses.
 
-1. the planner's :meth:`~repro.core.planner.CrowdPlanner.shard_plan` splits
-   the batch into interaction-closed shards (whole od-cell components — see
-   the planner docs for why no truth can cross a shard boundary);
-2. every shard gets a *clone* of the planner: shared read-only substrate
-   (road network, landmark catalogue, candidate sources, fitted familiarity
-   model), a destination-cell partition of the truth store, a fresh evaluator
-   bound to that partition, and a private copy of the worker pool;
-3. shards run the existing per-group batch path
-   (:meth:`CrowdPlanner.recommend_batch`) in forked worker processes — or
-   inline, in shard order, when processes are disabled or ``fork`` is
-   unavailable;
-4. the results are merged back in submission order and the parent planner's
-   state is brought up to date exactly as a sequential run would have left
-   it: newly recorded truths are absorbed in submission order, crowd task
-   results replay worker answer histories and rewards, and the statistics
-   counters are summed.
+Migrate by replacing::
 
-Equivalence contract
---------------------
-For any workload and any worker count, the merged results are bit-identical
-to ``planner.recommend_batch(queries)`` on the same starting state, *up to
-process-local serial numbers* (task ids are re-issued at merge time from the
-parent's sequence; truth ids are re-issued by
-:meth:`~repro.core.truth.TruthDatabase.absorb`).
-:func:`recommendation_fingerprint` canonicalises a result for exactly this
-comparison, and the ``crowd_shard`` benchmark suite plus the serving property
-tests enforce it.  The contract additionally requires the crowd backend to be
-content-deterministic — identical tasks must yield identical responses
-regardless of collection order or process, which
-:class:`~repro.crowd.simulator.SimulatedCrowd` guarantees via content-keyed
-RNG derivation.
+    engine = ShardedRecommendationEngine(planner, workers=4)
+    results = engine.recommend_batch(queries)
+
+with::
+
+    service = RecommendationService(planner, ServiceConfig.from_planner_config(
+        planner.config, pool_size=4))
+    results = [response.result for response in service.recommend_batch(queries)]
+    ...
+    service.close()
+
+The service keeps its worker pool (and the workers' truth partitions) warm
+across batches, so steady request streams no longer pay a fork + clone per
+batch; the equivalence contract is unchanged (see
+:func:`~repro.serving.protocol.recommendation_fingerprint`).
 """
 
 from __future__ import annotations
 
-import copy
-import multiprocessing
 import os
-import threading
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..core.evaluation import EvaluationOutcome
-from ..core.planner import CrowdPlanner, QueryShard, RecommendationResult, ShardPlan
-from ..core.task import TaskResult, reissue_task_id
-from ..core.truth import VerifiedTruth
+from ..core.planner import CrowdPlanner, RecommendationResult, ShardPlan
 from ..exceptions import CrowdPlannerError
-from ..routing.base import CandidateRoute, RouteQuery
-
-
-@dataclass
-class _ShardRun:
-    """Everything one worker needs to execute its shard."""
-
-    shard: QueryShard
-    clone: CrowdPlanner
-    queries: List[RouteQuery]
-    share_candidate_generation: bool
-
-
-#: Shard runs visible to forked pool workers.  Set immediately before the
-#: pool is created (children inherit it through ``fork``) and cleared after
-#: the map completes; worker processes only ever read it.  Shard clones are
-#: handed to children by fork inheritance rather than pickling because
-#: planner substrate routinely holds unpicklable state (e.g. the scenario's
-#: ground-truth closure); ``_FORK_LOCK`` serialises concurrent engines in
-#: the same parent process so one batch's children never see another's runs.
-_FORK_RUNS: List[_ShardRun] = []
-_FORK_LOCK = threading.Lock()
-
-
-def _execute_run(run: _ShardRun) -> Tuple[List[RecommendationResult], dict, List[VerifiedTruth]]:
-    """Run one shard to completion; returns (results, stats delta, new truths)."""
-    before = len(run.clone.truths)
-    results = run.clone.recommend_batch(
-        run.queries, share_candidate_generation=run.share_candidate_generation
-    )
-    new_truths = run.clone.truths.all()[before:]
-    return results, run.clone.statistics.as_dict(), new_truths
-
-
-def _execute_fork_run(position: int):
-    """Fork-pool entry point: execute the inherited shard at ``position``."""
-    return _execute_run(_FORK_RUNS[position])
+from ..routing.base import RouteQuery
+from .protocol import recommendation_fingerprint  # noqa: F401  (compat re-export)
+from .service import PooledBackend, RecommendationService
 
 
 class ShardedRecommendationEngine:
-    """Serves recommendation batches across a process pool.
+    """Serves recommendation batches across a per-batch process pool.
+
+    .. deprecated::
+        Use :class:`~repro.serving.service.RecommendationService` — the
+        session-based API with a persistent worker pool.  This shim remains
+        result-identical to both the service and the sequential oracle.
 
     Parameters
     ----------
@@ -104,9 +60,8 @@ class ShardedRecommendationEngine:
     use_processes:
         When ``False``, shards execute inline in the calling process (still
         through the same clone-and-merge machinery, so results are identical);
-        the engine also falls back to inline execution automatically when the
-        platform offers no ``fork`` start method, keeping behaviour
-        deterministic on spawn-only platforms.
+        inline execution is also the automatic fallback on platforms without
+        ``fork``.
     """
 
     def __init__(
@@ -170,169 +125,16 @@ class ShardedRecommendationEngine:
             return self.planner.recommend_batch(
                 queries, share_candidate_generation=share_candidate_generation
             )
-
-        # Warm shared read-only state once, before clones are built (and
-        # before any fork), so children inherit the compiled graph and the
-        # sources' batch caches instead of rebuilding them per process.
-        self.planner.warm_batch(queries)
-
-        runs = [
-            _ShardRun(
-                shard=shard,
-                clone=self._shard_clone(shard),
-                queries=[queries[index] for index in shard.indices],
-                share_candidate_generation=share_candidate_generation,
-            )
-            for shard in plan.shards
-        ]
-        if self.use_processes and "fork" in multiprocessing.get_all_start_methods():
-            outcomes = self._run_forked(runs, worker_count)
-        else:
-            outcomes = [_execute_run(run) for run in runs]
-        return self._merge(queries, runs, outcomes)
-
-    # -------------------------------------------------------------- internal
-    def _shard_clone(self, shard: QueryShard) -> CrowdPlanner:
-        """A planner over the shard's truth partition and a private worker pool.
-
-        Road network, catalogue, sources, task generator, crowd backend and
-        the fitted familiarity model are shared (read-only during a batch);
-        the truth store, evaluator, worker pool, rewards and statistics are
-        isolated so a shard's writes never leak into another shard.
-        """
-        planner = self.planner
-        partition = planner.truths.partition_by_cells(shard.destination_cells)
-        clone = CrowdPlanner(
-            network=planner.network,
-            catalog=planner.catalog,
-            calibrator=planner.calibrator,
-            sources=planner.sources,
-            worker_pool=copy.deepcopy(planner.worker_pool),
-            crowd_backend=planner.crowd_backend,
-            config=planner.config,
-            familiarity=planner.familiarity,
-            task_generator=planner.task_generator,
+        backend = PooledBackend(
+            pool_size=min(worker_count, len(plan.shards)),
+            use_processes=self.use_processes,
+            persistent=False,
         )
-        clone.truths = partition
-        # A shallow copy of the parent's evaluator rebound to the partition:
-        # preserves any evaluator subclass/state without assuming its
-        # constructor signature.
-        evaluator = copy.copy(planner.evaluator)
-        evaluator.truths = partition
-        clone.evaluator = evaluator
-        return clone
-
-    @staticmethod
-    def _run_forked(runs: List[_ShardRun], worker_count: int):
-        global _FORK_RUNS
-        with _FORK_LOCK:
-            _FORK_RUNS = runs
-            try:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=min(worker_count, len(runs))) as pool:
-                    return pool.map(_execute_fork_run, range(len(runs)))
-            finally:
-                _FORK_RUNS = []
-
-    def _merge(
-        self,
-        queries: List[RouteQuery],
-        runs: List[_ShardRun],
-        outcomes,
-    ) -> List[RecommendationResult]:
-        """Reassemble submission order and replay shard writes onto the parent.
-
-        Every result other than a truth-reuse hit recorded exactly one truth
-        in its shard, in shard execution order; pairing them back up by
-        position lets the merge re-record the truths globally in submission
-        order — the order the sequential path would have used.
-        """
-        planner = self.planner
-        ordered: List[Optional[RecommendationResult]] = [None] * len(queries)
-        tagged_truths: List[Tuple[int, VerifiedTruth]] = []
-        for run, (results, stats_delta, new_truths) in zip(runs, outcomes):
-            truth_iter = iter(new_truths)
-            for local, original in enumerate(run.shard.indices):
-                result = results[local]
-                ordered[original] = result
-                if result.method != "truth_reuse":
-                    try:
-                        tagged_truths.append((original, next(truth_iter)))
-                    except StopIteration:  # pragma: no cover - defensive
-                        raise CrowdPlannerError(
-                            "shard recorded fewer truths than its results imply"
-                        ) from None
-            if next(truth_iter, None) is not None:  # pragma: no cover - defensive
-                raise CrowdPlannerError("shard recorded more truths than its results imply")
-            planner.statistics.merge(stats_delta)
-        tagged_truths.sort(key=lambda item: item[0])
-        planner.truths.absorb([truth for _, truth in tagged_truths])
-        for result in ordered:
-            assert result is not None  # every index belongs to exactly one shard
-            if result.task_result is not None:
-                reissue_task_id(result.task_result.task)
-                planner._update_answer_history(result.task_result)
-                planner.rewards.reward_task(result.task_result)
-        return ordered  # type: ignore[return-value]
-
-
-# --------------------------------------------------------------- comparison
-def _route_fingerprint(route: Optional[CandidateRoute]):
-    if route is None:
-        return None
-    return (route.path, route.source, route.support, tuple(sorted(route.metadata.items())))
-
-
-def _evaluation_fingerprint(evaluation: Optional[EvaluationOutcome]):
-    if evaluation is None:
-        return None
-    return (
-        evaluation.decision.value,
-        _route_fingerprint(evaluation.best_route),
-        tuple(sorted(evaluation.confidences.items())),
-        evaluation.mean_pairwise_similarity,
-    )
-
-
-def _task_result_fingerprint(task_result: Optional[TaskResult]):
-    if task_result is None:
-        return None
-    return (
-        task_result.winning_route_index,
-        task_result.confidence,
-        task_result.stopped_early,
-        tuple(sorted(task_result.votes.items())),
-        tuple(
-            (
-                response.worker_id,
-                response.chosen_route_index,
-                response.total_response_time_s,
-                tuple(
-                    (answer.worker_id, answer.landmark_id, answer.says_yes, answer.response_time_s)
-                    for answer in response.answers
-                ),
+        service = RecommendationService(self.planner, backend=backend)
+        try:
+            responses = service.recommend_batch(
+                queries, share_candidate_generation=share_candidate_generation, plan=plan
             )
-            for response in task_result.responses
-        ),
-    )
-
-
-def recommendation_fingerprint(result: RecommendationResult):
-    """Canonical, comparable form of a recommendation result.
-
-    Captures every externally observable part of the answer — query, route,
-    resolution method, confidence, candidate set, evaluation outcome and the
-    full crowd task result down to individual answers and response times —
-    while excluding process-local serial numbers (task ids), which are the
-    only field where a sharded run may differ from the sequential oracle.
-    """
-    query = result.query
-    return (
-        (query.origin, query.destination, query.departure_time_s, query.max_response_time_s),
-        _route_fingerprint(result.route),
-        result.method,
-        result.confidence,
-        tuple(_route_fingerprint(candidate) for candidate in result.candidates),
-        _evaluation_fingerprint(result.evaluation),
-        _task_result_fingerprint(result.task_result),
-    )
+        finally:
+            service.close()
+        return [response.result for response in responses]

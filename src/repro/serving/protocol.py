@@ -1,0 +1,252 @@
+"""Request/response envelopes and the backend protocol of the serving layer.
+
+The :class:`~repro.serving.service.RecommendationService` speaks one unified
+vocabulary regardless of how batches are executed:
+
+* :class:`RecommendRequest` wraps a :class:`~repro.routing.base.RouteQuery`
+  with a service-issued request id;
+* :class:`RecommendResponse` wraps the planner's
+  :class:`~repro.core.planner.RecommendationResult` with
+  :class:`ResultProvenance` — which backend and batch produced it, which
+  shard and worker process served it, whether it was a warm truth-store hit,
+  and the batch's planning/execution/merge timings;
+* :class:`Ticket` is the handle ``submit`` returns and ``results`` consumes;
+* :class:`ServingBackend` is the pluggable execution strategy — the service
+  owns ordering, envelopes and lifecycle, a backend owns *how* one batch of
+  queries becomes ordered results (and parent planner state).
+
+The module also hosts :func:`recommendation_fingerprint`, the canonical
+comparable form of a result used everywhere the serving layer's
+bit-identical-to-sequential contract is asserted.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.evaluation import EvaluationOutcome
+from ..core.planner import CrowdPlanner, RecommendationResult, ShardPlan
+from ..core.task import TaskResult
+from ..routing.base import CandidateRoute, RouteQuery
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """One route-recommendation request as the service tracks it."""
+
+    request_id: int
+    query: RouteQuery
+
+    @property
+    def origin(self) -> int:
+        return self.query.origin
+
+    @property
+    def destination(self) -> int:
+        return self.query.destination
+
+
+def wrap_requests(
+    queries: Iterable[Union[RouteQuery, RecommendRequest]], start_id: int
+) -> List[RecommendRequest]:
+    """Envelope raw queries (ids issued from ``start_id``); pre-built
+    envelopes are re-issued under the service's id sequence so ids stay
+    unique per service."""
+    requests = []
+    for offset, query in enumerate(queries):
+        if isinstance(query, RecommendRequest):
+            query = query.query
+        requests.append(RecommendRequest(request_id=start_id + offset, query=query))
+    return requests
+
+
+@dataclass(frozen=True)
+class BatchTimings:
+    """Wall-clock breakdown of the batch a response belonged to."""
+
+    plan_s: float
+    execute_s: float
+    merge_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.plan_s + self.execute_s + self.merge_s
+
+
+@dataclass(frozen=True)
+class ResultProvenance:
+    """Where and how a response was produced.
+
+    ``shard_id``/``worker_pid`` identify the shard and OS process that served
+    the request (``shard_id`` is ``None`` for the inline backend, which does
+    not shard; ``worker_pid`` is the serving process — the parent's own pid
+    when no pool worker was involved).  ``warm_pool`` records whether the
+    batch ran on an already-forked pool (the amortisation the persistent
+    backend exists for), and ``truth_reused`` whether the answer came
+    straight from the verified-truth store.
+    """
+
+    backend: str
+    batch_id: int
+    batch_size: int
+    shard_id: Optional[int]
+    worker_pid: Optional[int]
+    truth_reused: bool
+    warm_pool: bool
+    timings: BatchTimings
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """One answered request: the planner's result plus provenance."""
+
+    request: RecommendRequest
+    result: RecommendationResult
+    provenance: ResultProvenance
+
+    @property
+    def query(self) -> RouteQuery:
+        return self.request.query
+
+    @property
+    def route(self) -> CandidateRoute:
+        return self.result.route
+
+    @property
+    def method(self) -> str:
+        return self.result.method
+
+    @property
+    def confidence(self) -> float:
+        return self.result.confidence
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Handle for a submitted batch; redeem once with ``Service.results``."""
+
+    ticket_id: int
+    size: int
+
+
+@dataclass
+class BatchExecution:
+    """What a backend hands back for one executed batch.
+
+    ``results`` are in submission order; ``origins`` pairs each result with
+    its ``(shard_id, worker_pid)``; the parent planner's post-batch state has
+    already been brought up to date (that is part of the backend contract).
+    """
+
+    results: List[RecommendationResult]
+    origins: List[Tuple[Optional[int], Optional[int]]]
+    plan_s: float = 0.0
+    execute_s: float = 0.0
+    merge_s: float = 0.0
+    warm_pool: bool = False
+
+
+class ServingBackend(abc.ABC):
+    """Execution strategy of the recommendation service.
+
+    A backend is bound to exactly one planner (by
+    :meth:`RecommendationService.__init__` via :meth:`bind`) and must keep
+    the service contract: for any batch sequence, results and post-batch
+    planner state are identical to the planner answering the same queries
+    sequentially in submission order.
+    """
+
+    #: Name recorded in every response's provenance.
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self.planner: Optional[CrowdPlanner] = None
+
+    def bind(self, planner: CrowdPlanner) -> None:
+        """Attach the backend to the planner it will serve (idempotent)."""
+        self.planner = planner
+
+    @abc.abstractmethod
+    def execute_batch(
+        self,
+        queries: Sequence[RouteQuery],
+        share_candidate_generation: bool = True,
+        plan: Optional[ShardPlan] = None,
+    ) -> BatchExecution:
+        """Answer one batch in submission order and update the parent planner."""
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool workers (empty for in-process backends)."""
+        return []
+
+    def close(self) -> None:
+        """Release any long-lived resources (idempotent)."""
+
+
+# --------------------------------------------------------------- comparison
+def _route_fingerprint(route: Optional[CandidateRoute]):
+    if route is None:
+        return None
+    return (route.path, route.source, route.support, tuple(sorted(route.metadata.items())))
+
+
+def _evaluation_fingerprint(evaluation: Optional[EvaluationOutcome]):
+    if evaluation is None:
+        return None
+    return (
+        evaluation.decision.value,
+        _route_fingerprint(evaluation.best_route),
+        tuple(sorted(evaluation.confidences.items())),
+        evaluation.mean_pairwise_similarity,
+    )
+
+
+def _task_result_fingerprint(task_result: Optional[TaskResult]):
+    if task_result is None:
+        return None
+    return (
+        task_result.winning_route_index,
+        task_result.confidence,
+        task_result.stopped_early,
+        tuple(sorted(task_result.votes.items())),
+        tuple(
+            (
+                response.worker_id,
+                response.chosen_route_index,
+                response.total_response_time_s,
+                tuple(
+                    (answer.worker_id, answer.landmark_id, answer.says_yes, answer.response_time_s)
+                    for answer in response.answers
+                ),
+            )
+            for response in task_result.responses
+        ),
+    )
+
+
+def recommendation_fingerprint(result: RecommendationResult):
+    """Canonical, comparable form of a recommendation result.
+
+    Captures every externally observable part of the answer — query, route,
+    resolution method, confidence, candidate set, evaluation outcome and the
+    full crowd task result down to individual answers and response times —
+    while excluding process-local serial numbers (task ids), which are the
+    only field where a sharded run may differ from the sequential oracle.
+    """
+    query = result.query
+    return (
+        (query.origin, query.destination, query.departure_time_s, query.max_response_time_s),
+        _route_fingerprint(result.route),
+        result.method,
+        result.confidence,
+        tuple(_route_fingerprint(candidate) for candidate in result.candidates),
+        _evaluation_fingerprint(result.evaluation),
+        _task_result_fingerprint(result.task_result),
+    )
+
+
+def response_fingerprint(response: RecommendResponse):
+    """Fingerprint of the result inside a service response envelope."""
+    return recommendation_fingerprint(response.result)

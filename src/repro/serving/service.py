@@ -1,0 +1,716 @@
+"""The session-based recommendation service.
+
+:class:`RecommendationService` is the serving layer's public surface: an
+always-on façade over a prepared :class:`~repro.core.planner.CrowdPlanner`
+that answers a *stream* of query batches instead of one-shot calls.
+
+* ``submit(queries) -> Ticket`` enqueues a batch (bounded queue);
+  ``results(ticket)`` redeems it — batches execute lazily, strictly in
+  submission order, so any interleaving of submits and collects observes
+  the same global query sequence;
+* ``stream(queries)`` pipelines a long query iterable through the service
+  in batches, yielding :class:`~repro.serving.protocol.RecommendResponse`
+  envelopes as they are produced;
+* execution is delegated to a pluggable
+  :class:`~repro.serving.protocol.ServingBackend`:
+  :class:`InlineBackend` is the sequential oracle itself, and
+  :class:`PooledBackend` a **persistent** forked worker pool — workers are
+  forked once, keep warm :class:`~repro.core.truth.TruthDatabase` state
+  between batches, and receive only the truth deltas the parent merged
+  since their last shard, amortising the per-batch fork + clone cost of the
+  old engine.
+
+Service contract
+----------------
+For any backend, pool size and submission interleaving, the concatenated
+results (and the planner's post-batch state) are bit-identical to the
+planner answering the same queries sequentially in submission order — up to
+process-local task/truth serial numbers, exactly as
+:func:`~repro.serving.protocol.recommendation_fingerprint` canonicalises.
+The pooled path inherits this from the shard machinery
+(:mod:`repro.serving.shards`); the per-batch grouping itself cannot change
+answers because batch-level optimisations are performance-only channels
+(see :meth:`CrowdPlanner.recommend_batch`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import OrderedDict, deque
+from multiprocessing.connection import wait as mp_wait
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..config import ServiceConfig
+from ..core.planner import CrowdPlanner, ShardPlan
+from ..exceptions import ServingError
+from ..routing.base import RouteQuery
+from .protocol import (
+    BatchExecution,
+    BatchTimings,
+    RecommendRequest,
+    RecommendResponse,
+    ResultProvenance,
+    ServingBackend,
+    Ticket,
+    wrap_requests,
+)
+from .shards import ShardJob, ShardOutcome, execute_shard_job, merge_shard_outcomes
+
+QueryLike = Union[RouteQuery, RecommendRequest]
+
+
+# ------------------------------------------------------------ inline backend
+class InlineBackend(ServingBackend):
+    """The sequential oracle as a backend: no shards, no processes.
+
+    Every other backend is tested against this one — it *is*
+    ``planner.recommend_batch`` with envelopes around it.
+    """
+
+    name = "inline"
+
+    def execute_batch(
+        self,
+        queries: Sequence[RouteQuery],
+        share_candidate_generation: bool = True,
+        plan: Optional[ShardPlan] = None,
+    ) -> BatchExecution:
+        if self.planner is None:
+            raise ServingError("backend is not bound to a planner")
+        if plan is not None:
+            raise ServingError("the inline backend does not accept shard plans")
+        started = time.perf_counter()
+        results = self.planner.recommend_batch(
+            list(queries), share_candidate_generation=share_candidate_generation
+        )
+        elapsed = time.perf_counter() - started
+        pid = os.getpid()
+        return BatchExecution(
+            results=results,
+            origins=[(None, pid) for _ in results],
+            execute_s=elapsed,
+        )
+
+
+# ------------------------------------------------------------ pooled backend
+def _pool_worker_main(conn, planner: CrowdPlanner) -> None:
+    """Long-lived pool worker loop (child process, entered right after fork).
+
+    The worker's ``planner`` is its fork-inherited copy of the parent's —
+    the *base* whose truth store is kept warm across batches: ``run`` and
+    ``sync`` messages carry the truths the parent merged since this worker
+    last heard from it (:meth:`TruthDatabase.adopt_all` preserves parent
+    ids, keeping lookup tie-breaks identical), and each shard then executes
+    on a fresh clone over a copy-on-write slice of the warm base.  Strict
+    request/reply: every message gets exactly one response.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        # Exceptions cross the pipe as rendered text: exception objects with
+        # custom constructors do not round-trip through pickle.  A failure
+        # while adopting deltas is reported as "desync" — the warm base may
+        # be partially updated, so the parent must retire this worker — while
+        # a failure during shard execution leaves the base intact ("error").
+        try:
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("pong", os.getpid()))
+            elif kind in ("sync", "run"):
+                try:
+                    planner.truths.adopt_all(message[1])
+                except Exception:
+                    conn.send(("desync", os.getpid(), traceback.format_exc()))
+                    continue
+                if kind == "sync":
+                    conn.send(("synced", os.getpid()))
+                    continue
+                try:
+                    outcomes = [execute_shard_job(planner, job) for job in message[2]]
+                except Exception:
+                    conn.send(("error", os.getpid(), traceback.format_exc()))
+                    continue
+                conn.send(("done", os.getpid(), outcomes))
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", os.getpid(), f"unknown message kind {kind!r}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            break
+    conn.close()
+
+
+class _PoolWorker:
+    """Parent-side handle of one pool worker."""
+
+    __slots__ = ("process", "conn", "pid", "cursor", "dead")
+
+    def __init__(self, process, conn, cursor: int):
+        self.process = process
+        self.conn = conn
+        self.pid = process.pid
+        self.cursor = cursor  # parent truths already synced to this worker
+        self.dead = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+    def mark_dead(self) -> None:
+        self.dead = True
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class PooledBackend(ServingBackend):
+    """Persistent forked worker pool with warm truth partitions.
+
+    Workers are forked once (on the first batch) and inherit the full
+    planner substrate — including state that cannot be pickled — through
+    ``fork``.  Across batches each worker keeps its base truth store in
+    sync with the parent via streamed deltas, so consecutive batches pay
+    only shard-clone construction, never a fork or a whole-store clone.
+
+    ``persistent=False`` degrades to the old per-batch behaviour (fork,
+    serve one batch, stop) — kept as the baseline the ``crowd_stream``
+    benchmark and the deprecated engine shim measure against.  When
+    ``use_processes`` is false or the platform offers no ``fork`` start
+    method, shards execute inline through the same clone-and-merge
+    machinery, keeping results identical everywhere.
+
+    A worker crash never fails a batch: its shard jobs are resubmitted to a
+    healthy worker (or served inline by the parent when none remains).
+    """
+
+    name = "pooled"
+
+    def __init__(
+        self,
+        pool_size: Optional[int] = None,
+        use_processes: bool = True,
+        persistent: bool = True,
+        merge_every_batches: int = 1,
+    ):
+        super().__init__()
+        if pool_size is not None and pool_size < 1:
+            raise ServingError("pool_size must be at least 1")
+        if merge_every_batches < 1:
+            raise ServingError("merge_every_batches must be at least 1")
+        self.pool_size = pool_size
+        self.use_processes = use_processes
+        self.persistent = persistent
+        self.merge_every_batches = merge_every_batches
+        self.batches_executed = 0
+        self._workers: List[_PoolWorker] = []
+
+    # -------------------------------------------------------------- plumbing
+    def bind(self, planner: CrowdPlanner) -> None:
+        if self.planner is not None and self.planner is not planner:
+            raise ServingError("backend is already bound to a different planner")
+        self.planner = planner
+
+    def resolved_pool_size(self) -> int:
+        if self.pool_size is not None:
+            return self.pool_size
+        return os.cpu_count() or 1
+
+    def _can_fork(self) -> bool:
+        return self.use_processes and "fork" in multiprocessing.get_all_start_methods()
+
+    def worker_pids(self) -> List[int]:
+        return [worker.pid for worker in self._workers if worker.alive]
+
+    def close(self) -> None:
+        self._stop_pool()
+
+    # ------------------------------------------------------------- execution
+    def execute_batch(
+        self,
+        queries: Sequence[RouteQuery],
+        share_candidate_generation: bool = True,
+        plan: Optional[ShardPlan] = None,
+    ) -> BatchExecution:
+        planner = self.planner
+        if planner is None:
+            raise ServingError("backend is not bound to a planner")
+        queries = list(queries)
+        if not queries:
+            return BatchExecution(results=[], origins=[])
+
+        started = time.perf_counter()
+        if plan is None:
+            plan = planner.shard_plan(queries, self.resolved_pool_size())
+        plan_s = time.perf_counter() - started
+
+        # Warm shared read-only state before any fork so first-batch workers
+        # inherit the compiled graph and source caches instead of rebuilding
+        # them per process.
+        planner.warm_batch(queries)
+        jobs = [
+            ShardJob(
+                shard_id=shard.shard_id,
+                indices=shard.indices,
+                destination_cells=shard.destination_cells,
+                queries=[queries[index] for index in shard.indices],
+                share_candidate_generation=share_candidate_generation,
+            )
+            for shard in plan.shards
+        ]
+
+        started = time.perf_counter()
+        warm = False
+        if self._can_fork():
+            # Warm only when an existing pool served this batch — a re-fork
+            # after a whole-pool loss is a cold batch like the first one.
+            warm = not self._ensure_pool()
+            try:
+                outcomes = self._run_on_pool(jobs)
+            finally:
+                if not self.persistent:
+                    self._stop_pool()
+        else:
+            outcomes = [execute_shard_job(planner, job) for job in jobs]
+        execute_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        results = merge_shard_outcomes(planner, len(queries), outcomes)
+        merge_s = time.perf_counter() - started
+
+        self.batches_executed += 1
+        if self._workers and self.batches_executed % self.merge_every_batches == 0:
+            self._push_sync()
+
+        origins: List[Tuple[Optional[int], Optional[int]]] = [(None, None)] * len(queries)
+        for outcome in outcomes:
+            for index in outcome.indices:
+                origins[index] = (outcome.shard_id, outcome.worker_pid)
+        return BatchExecution(
+            results=results,
+            origins=origins,
+            plan_s=plan_s,
+            execute_s=execute_s,
+            merge_s=merge_s,
+            warm_pool=warm,
+        )
+
+    # ------------------------------------------------------------- pool mgmt
+    def _ensure_pool(self) -> bool:
+        """Fork the pool if none is alive; ``True`` when a fork happened."""
+        if any(worker.alive for worker in self._workers):
+            return False
+        self._workers = []
+        context = multiprocessing.get_context("fork")
+        cursor = self.planner.truth_cursor()
+        for _ in range(self.resolved_pool_size()):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_pool_worker_main, args=(child_conn, self.planner), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_PoolWorker(process, parent_conn, cursor))
+        return True
+
+    def _stop_pool(self) -> None:
+        for worker in self._workers:
+            if worker.alive:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.mark_dead()
+        self._workers = []
+
+    def _alive_workers(self) -> List[_PoolWorker]:
+        return [worker for worker in self._workers if worker.alive]
+
+    def _send(self, worker: _PoolWorker, message) -> bool:
+        if not worker.alive:
+            return False
+        try:
+            worker.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            worker.mark_dead()
+            return False
+
+    def _recv(self, worker: _PoolWorker):
+        """Next reply from ``worker``, or ``None`` once it is found dead."""
+        while True:
+            try:
+                if worker.conn.poll(0.02):
+                    return worker.conn.recv()
+            except (EOFError, OSError):
+                worker.mark_dead()
+                return None
+            if not worker.process.is_alive():
+                # Drain anything written before the process died.
+                try:
+                    if worker.conn.poll(0):
+                        return worker.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                worker.mark_dead()
+                return None
+
+    def _dispatch(self, worker: _PoolWorker, jobs: List[ShardJob]) -> bool:
+        """Send a run message (with the worker's missing truth deltas)."""
+        delta = self.planner.truth_delta(worker.cursor)
+        if not self._send(worker, ("run", delta, jobs)):
+            return False
+        worker.cursor = self.planner.truth_cursor()
+        return True
+
+    def _run_on_pool(self, jobs: List[ShardJob]) -> List[ShardOutcome]:
+        """Serve jobs on the pool with dynamic pull-style load balancing.
+
+        One job per dispatch: each idle worker pulls the next queued job as
+        soon as it finishes its previous one (like ``Pool.map`` with chunk
+        size 1), so a skewed batch — one giant shard plus several small
+        ones — never serialises small shards behind the giant.  A worker
+        that dies or desyncs has its job requeued onto the remaining
+        workers; with no workers left the remainder runs in-process.  A
+        shard *execution* error (worker state intact) is raised to the
+        caller after in-flight jobs drain.
+        """
+        outcomes: List[ShardOutcome] = []
+        queue = deque(jobs)
+        inflight: Dict[_PoolWorker, ShardJob] = {}
+        error: Optional[str] = None
+        while (queue and error is None) or inflight:
+            if error is None:
+                for worker in self._alive_workers():
+                    if not queue:
+                        break
+                    if worker in inflight:
+                        continue
+                    job = queue.popleft()
+                    if self._dispatch(worker, [job]):
+                        inflight[worker] = job
+                    else:
+                        queue.appendleft(job)
+                if queue and not inflight and not self._alive_workers():
+                    # The whole pool is gone: serve the remainder in-process.
+                    outcomes.extend(execute_shard_job(self.planner, job) for job in queue)
+                    queue.clear()
+                    break
+            if not inflight:
+                continue
+            ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
+            for worker in list(inflight):
+                if worker.conn in ready:
+                    try:
+                        reply = worker.conn.recv()
+                    except (EOFError, OSError):
+                        reply = None
+                    job = inflight.pop(worker)
+                    if reply is None:
+                        worker.mark_dead()
+                        queue.append(job)
+                    elif reply[0] == "done":
+                        outcomes.extend(reply[2])
+                    elif reply[0] == "desync":
+                        # The worker's warm base is no longer trustworthy.
+                        worker.mark_dead()
+                        queue.append(job)
+                    elif reply[0] == "error":
+                        error = error or str(reply[2])
+                    else:  # pragma: no cover - protocol guard
+                        error = error or f"unexpected pool reply {reply[0]!r}"
+                elif not worker.process.is_alive():
+                    worker.mark_dead()
+                    queue.append(inflight.pop(worker))
+        if error is not None:
+            raise ServingError(f"shard execution failed in a pool worker:\n{error}")
+        return outcomes
+
+    def _push_sync(self) -> None:
+        """Stream merged truth deltas to workers that are behind (cadence)."""
+        total = self.planner.truth_cursor()
+        synced: List[_PoolWorker] = []
+        for worker in self._alive_workers():
+            if worker.cursor >= total:
+                continue
+            if self._send(worker, ("sync", self.planner.truth_delta(worker.cursor))):
+                worker.cursor = total
+                synced.append(worker)
+        for worker in synced:
+            reply = self._recv(worker)
+            if reply is None or reply[0] != "synced":
+                # Death, or a partial adopt ("desync"): either way this
+                # worker's warm base can no longer be trusted — retire it
+                # rather than serve stale lookups from it later.
+                worker.mark_dead()
+
+
+# ---------------------------------------------------------------- the service
+class RecommendationService:
+    """Session-based serving façade over a prepared planner.
+
+    Parameters
+    ----------
+    planner:
+        A (typically prepared) :class:`CrowdPlanner`.  The service owns its
+        batch-serving state while open: truths recorded by the service's
+        batches land here, exactly as a sequential run would record them.
+    config:
+        A :class:`~repro.config.ServiceConfig`; ``None`` lifts the
+        planner's own config with default serving knobs.
+    backend:
+        Explicit :class:`ServingBackend` instance; ``None`` builds one from
+        ``config.backend``.
+
+    The service is a context manager; :meth:`close` shuts the backend pool
+    down and refuses further calls.  Uncollected pending batches are
+    discarded at close (they were never executed).
+    """
+
+    def __init__(
+        self,
+        planner: CrowdPlanner,
+        config: Optional[ServiceConfig] = None,
+        backend: Optional[ServingBackend] = None,
+    ):
+        if config is None:
+            config = ServiceConfig.from_planner_config(planner.config)
+        self.planner = planner
+        self.config = config
+        if backend is None:
+            if config.backend == "inline":
+                backend = InlineBackend()
+            else:
+                backend = PooledBackend(
+                    pool_size=config.pool_size,
+                    use_processes=config.use_processes,
+                    merge_every_batches=config.merge_every_batches,
+                )
+        backend.bind(planner)
+        self.backend = backend
+        self._closed = False
+        self._next_request_id = 1
+        self._next_ticket_id = 1
+        self._next_batch_id = 1
+        # Submitted-but-unexecuted batches, in submission order.
+        self._pending: "OrderedDict[int, Tuple[List[RecommendRequest], bool]]" = OrderedDict()
+        # Executed-but-uncollected responses, keyed by ticket id.
+        self._ready: Dict[int, List[RecommendResponse]] = {}
+        self._collected: Set[int] = set()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the backend down; the service refuses further calls."""
+        if self._closed:
+            return
+        self._closed = True
+        self.backend.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServingError("the service is closed")
+
+    # ------------------------------------------------------------- interface
+    def submit(
+        self,
+        queries: Union[QueryLike, Iterable[QueryLike]],
+        share_candidate_generation: Optional[bool] = None,
+    ) -> Ticket:
+        """Enqueue one batch; returns the ticket that redeems its results.
+
+        Accepts a single query or an iterable; raises
+        :class:`~repro.exceptions.ServingError` when
+        ``config.max_pending_batches`` batches already await execution.
+        Submission order is execution order, whatever order tickets are
+        redeemed in.
+        """
+        self._ensure_open()
+        # Reject before consuming anything: a caller whose submit is refused
+        # must be able to retry with the same (possibly generator) queries.
+        if len(self._pending) >= self.config.max_pending_batches:
+            raise ServingError(
+                f"submission queue is full ({self.config.max_pending_batches} pending batches)"
+            )
+        requests, share = self._wrap(queries, share_candidate_generation)
+        ticket = Ticket(ticket_id=self._next_ticket_id, size=len(requests))
+        self._next_ticket_id += 1
+        self._pending[ticket.ticket_id] = (requests, share)
+        return ticket
+
+    def results(self, ticket: Union[Ticket, int]) -> List[RecommendResponse]:
+        """Redeem a ticket (exactly once), in submission-order semantics.
+
+        Executes every batch submitted before the ticket's first, so the
+        global query sequence the planner observes is independent of
+        collection order.
+        """
+        self._ensure_open()
+        ticket_id = ticket.ticket_id if isinstance(ticket, Ticket) else int(ticket)
+        if ticket_id in self._collected:
+            raise ServingError(f"ticket {ticket_id} was already collected")
+        if ticket_id not in self._ready and ticket_id not in self._pending:
+            raise ServingError(f"unknown ticket {ticket_id}")
+        while ticket_id not in self._ready:
+            self._execute_next_pending()
+        self._collected.add(ticket_id)
+        return self._ready.pop(ticket_id)
+
+    def drain(self) -> None:
+        """Execute every pending batch (results stay redeemable by ticket)."""
+        self._ensure_open()
+        while self._pending:
+            self._execute_next_pending()
+
+    def recommend(self, query: QueryLike) -> RecommendResponse:
+        """Answer a single query through the full batch pipeline."""
+        return self.results(self.submit(query))[0]
+
+    def recommend_batch(
+        self,
+        queries: Iterable[QueryLike],
+        share_candidate_generation: Optional[bool] = None,
+        plan: Optional[ShardPlan] = None,
+    ) -> List[RecommendResponse]:
+        """Submit-and-collect one batch in a single call.
+
+        An explicit ``plan`` (diagnostics / the deprecated engine shim)
+        bypasses the ticket queue: pending batches are drained first so
+        submission order is preserved, then the batch executes under the
+        given plan.
+        """
+        if plan is None:
+            return self.results(self.submit(queries, share_candidate_generation))
+        self._ensure_open()
+        self.drain()
+        requests, share = self._wrap(queries, share_candidate_generation)
+        return self._execute(requests, share, plan)
+
+    def stream(
+        self,
+        queries: Iterable[QueryLike],
+        batch_size: Optional[int] = None,
+    ) -> Iterator[RecommendResponse]:
+        """Pipeline a query iterable through the service in batches.
+
+        Batches are submitted and redeemed lazily as the iterator is
+        consumed, so an unbounded query source streams with bounded memory;
+        responses arrive in submission order.
+        """
+        size = batch_size if batch_size is not None else self.config.stream_batch_size
+        if size < 1:
+            raise ServingError("batch_size must be at least 1")
+        chunk: List[QueryLike] = []
+        for query in queries:
+            chunk.append(query)
+            if len(chunk) >= size:
+                for response in self.results(self.submit(chunk)):
+                    yield response
+                chunk = []
+        if chunk:
+            for response in self.results(self.submit(chunk)):
+                yield response
+
+    # ------------------------------------------------------------ diagnostics
+    def worker_pids(self) -> List[int]:
+        """PIDs of the backend's live pool workers (empty when in-process)."""
+        return self.backend.worker_pids()
+
+    @property
+    def statistics(self):
+        """The underlying planner's resolution counters."""
+        return self.planner.statistics
+
+    def plan(self, queries: Sequence[QueryLike]) -> ShardPlan:
+        """The shard plan a batch would execute under (diagnostics)."""
+        resolved = [
+            query.query if isinstance(query, RecommendRequest) else query for query in queries
+        ]
+        shards = (
+            self.backend.resolved_pool_size()
+            if isinstance(self.backend, PooledBackend)
+            else 1
+        )
+        return self.planner.shard_plan(resolved, shards)
+
+    # -------------------------------------------------------------- internal
+    def _wrap(
+        self,
+        queries: Union[QueryLike, Iterable[QueryLike]],
+        share_candidate_generation: Optional[bool],
+    ) -> Tuple[List[RecommendRequest], bool]:
+        """Envelope queries under fresh request ids + resolve the share flag."""
+        if isinstance(queries, (RouteQuery, RecommendRequest)):
+            queries = [queries]
+        requests = wrap_requests(queries, self._next_request_id)
+        self._next_request_id += len(requests)
+        share = (
+            self.config.share_candidate_generation
+            if share_candidate_generation is None
+            else share_candidate_generation
+        )
+        return requests, share
+
+    def _execute_next_pending(self) -> None:
+        # Pop only after a successful execution: a backend failure leaves the
+        # batch pending, so the ticket stays redeemable (retryable) instead
+        # of silently becoming "unknown".
+        ticket_id, (requests, share) = next(iter(self._pending.items()))
+        responses = self._execute(requests, share)
+        del self._pending[ticket_id]
+        self._ready[ticket_id] = responses
+
+    def _execute(
+        self,
+        requests: List[RecommendRequest],
+        share_candidate_generation: bool,
+        plan: Optional[ShardPlan] = None,
+    ) -> List[RecommendResponse]:
+        queries = [request.query for request in requests]
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        execution = self.backend.execute_batch(
+            queries, share_candidate_generation=share_candidate_generation, plan=plan
+        )
+        timings = BatchTimings(
+            plan_s=execution.plan_s, execute_s=execution.execute_s, merge_s=execution.merge_s
+        )
+        responses = []
+        for request, result, (shard_id, worker_pid) in zip(
+            requests, execution.results, execution.origins
+        ):
+            responses.append(
+                RecommendResponse(
+                    request=request,
+                    result=result,
+                    provenance=ResultProvenance(
+                        backend=self.backend.name,
+                        batch_id=batch_id,
+                        batch_size=len(requests),
+                        shard_id=shard_id,
+                        worker_pid=worker_pid,
+                        truth_reused=result.method == "truth_reuse",
+                        warm_pool=execution.warm_pool,
+                        timings=timings,
+                    ),
+                )
+            )
+        return responses

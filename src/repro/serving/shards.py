@@ -1,0 +1,149 @@
+"""Shard execution and merge primitives shared by every pooled path.
+
+A *shard job* is the unit of work the serving layer hands to a worker — a
+slice of a batch (whole interaction-closed components, see
+:meth:`~repro.core.planner.CrowdPlanner.shard_plan`) plus the destination
+cells whose truth slice the shard may observe.  The primitives here are used
+identically by the persistent pool workers (:mod:`repro.serving.service`),
+the per-batch forked pool behind the deprecated engine shim, and the inline
+fallback:
+
+* :func:`build_shard_clone` — a planner over a copy-on-write
+  :meth:`~repro.core.truth.TruthDatabase.view_by_cells` slice of the base
+  planner's truth store, with isolated evaluator/worker-pool/statistics;
+* :func:`execute_shard_job` — run one job on a clone, collecting results,
+  the statistics delta and the newly recorded truths;
+* :func:`merge_shard_outcomes` — replay every shard's writes onto the parent
+  planner in submission order, reproducing the exact state a sequential run
+  would have left.
+
+Everything that crosses a process boundary (:class:`ShardJob` down,
+:class:`ShardOutcome` up) is plain picklable data; planner substrate never
+travels — workers inherit it through ``fork``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.planner import CrowdPlanner, RecommendationResult
+from ..core.truth import VerifiedTruth
+from ..exceptions import ServingError
+from ..routing.base import RouteQuery
+
+
+@dataclass
+class ShardJob:
+    """One shard of one batch, ready to be executed anywhere."""
+
+    shard_id: int
+    indices: Tuple[int, ...]
+    destination_cells: FrozenSet[Tuple[int, int]]
+    queries: List[RouteQuery]
+    share_candidate_generation: bool = True
+
+
+@dataclass
+class ShardOutcome:
+    """Everything a shard execution produced, in shard submission order."""
+
+    shard_id: int
+    indices: Tuple[int, ...]
+    results: List[RecommendationResult]
+    statistics_delta: Dict[str, int]
+    new_truths: List[VerifiedTruth]
+    worker_pid: int
+
+
+def build_shard_clone(planner: CrowdPlanner, destination_cells) -> CrowdPlanner:
+    """A planner over the shard's truth slice and a private worker pool.
+
+    Road network, catalogue, sources, task generator, crowd backend and the
+    fitted familiarity model are shared (read-only during a batch); the truth
+    store (a copy-on-write destination-cell view), evaluator, worker pool,
+    rewards and statistics are isolated so a shard's writes never leak into
+    another shard or the base planner.
+    """
+    clone = CrowdPlanner(
+        network=planner.network,
+        catalog=planner.catalog,
+        calibrator=planner.calibrator,
+        sources=planner.sources,
+        worker_pool=copy.deepcopy(planner.worker_pool),
+        crowd_backend=planner.crowd_backend,
+        config=planner.config,
+        familiarity=planner.familiarity,
+        task_generator=planner.task_generator,
+    )
+    clone.truths = planner.truths.view_by_cells(destination_cells)
+    # A shallow copy of the base planner's evaluator rebound to the slice:
+    # preserves any evaluator subclass/state without assuming its
+    # constructor signature.
+    evaluator = copy.copy(planner.evaluator)
+    evaluator.truths = clone.truths
+    clone.evaluator = evaluator
+    return clone
+
+
+def execute_shard_job(planner: CrowdPlanner, job: ShardJob) -> ShardOutcome:
+    """Execute ``job`` on a fresh clone of ``planner``; the base planner's
+    truth store is read, never written."""
+    clone = build_shard_clone(planner, job.destination_cells)
+    before = len(clone.truths)
+    results = clone.recommend_batch(
+        job.queries, share_candidate_generation=job.share_candidate_generation
+    )
+    return ShardOutcome(
+        shard_id=job.shard_id,
+        indices=job.indices,
+        results=results,
+        statistics_delta=clone.statistics.as_dict(),
+        new_truths=clone.truths.all()[before:],
+        worker_pid=os.getpid(),
+    )
+
+
+def merge_shard_outcomes(
+    planner: CrowdPlanner,
+    num_queries: int,
+    outcomes: List[ShardOutcome],
+) -> List[RecommendationResult]:
+    """Reassemble submission order and replay shard writes onto the parent.
+
+    Every result other than a truth-reuse hit recorded exactly one truth in
+    its shard, in shard execution order; pairing them back up by position
+    lets the merge re-record the truths globally in submission order — the
+    order the sequential path would have used.  Crowd task results replay
+    worker answer histories and rewards (with task ids re-issued from the
+    parent's sequence), and statistics counters are summed.
+    """
+    ordered: List[Optional[RecommendationResult]] = [None] * num_queries
+    tagged_truths: List[Tuple[int, VerifiedTruth]] = []
+    for outcome in outcomes:
+        truth_iter = iter(outcome.new_truths)
+        for local, original in enumerate(outcome.indices):
+            result = outcome.results[local]
+            if ordered[original] is not None:
+                raise ServingError(f"query {original} served by more than one shard")
+            ordered[original] = result
+            if result.method != "truth_reuse":
+                try:
+                    tagged_truths.append((original, next(truth_iter)))
+                except StopIteration:  # pragma: no cover - defensive
+                    raise ServingError(
+                        "shard recorded fewer truths than its results imply"
+                    ) from None
+        if next(truth_iter, None) is not None:  # pragma: no cover - defensive
+            raise ServingError("shard recorded more truths than its results imply")
+        planner.statistics.merge(outcome.statistics_delta)
+    tagged_truths.sort(key=lambda item: item[0])
+    planner.truths.absorb([truth for _, truth in tagged_truths])
+    for result in ordered:
+        if result is None:  # pragma: no cover - defensive
+            raise ServingError("a query was not covered by any shard")
+        if result.task_result is not None:
+            planner.replay_task_result(result.task_result)
+    return ordered  # type: ignore[return-value]

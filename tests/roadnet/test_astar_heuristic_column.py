@@ -1,0 +1,93 @@
+"""The precomputed A* heuristic column must not change a single route.
+
+The column (:meth:`CompiledGraph.heuristic_column`) replaces the former lazy
+per-node heuristic: same ``math.hypot`` arithmetic, precomputed per
+destination and amortised across repeated same-goal queries.  Heuristic ulps
+change heap ordering, so these tests pin the values to the scalar reference
+arithmetic and the routes to the preserved reference implementation —
+including the repeated-goal traffic shape the cache exists for.
+"""
+
+import math
+
+import pytest
+
+from repro.roadnet import reference
+from repro.roadnet import shortest_path as fast
+from repro.roadnet.compiled import CompiledGraph
+from repro.roadnet.generators import GridCityConfig, generate_grid_city, random_od_pairs
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_grid_city(
+        GridCityConfig(rows=8, cols=8, block_size_m=220.0, seed=11, drop_edge_probability=0.06)
+    )
+
+
+@pytest.fixture(scope="module")
+def repeated_goal_pairs(city):
+    pairs = random_od_pairs(city, 24, min_distance_m=600.0, seed=3)
+    goals = sorted({destination for _, destination in pairs})[:4]
+    origins = sorted({origin for origin, _ in pairs})[:6]
+    return [(origin, goal) for goal in goals for origin in origins if origin != goal]
+
+
+class TestColumnValues:
+    def test_column_matches_reference_arithmetic(self, city):
+        compiled = city.compiled()
+        destination = compiled.node_count // 2
+        column = compiled.heuristic_column(destination)
+        goal_x, goal_y = compiled.xs[destination], compiled.ys[destination]
+        expected = [
+            math.hypot(x - goal_x, y - goal_y) for x, y in zip(compiled.xs, compiled.ys)
+        ]
+        assert column == expected  # bitwise: ulps change heap ordering
+
+    def test_scaled_column_matches_reference_arithmetic(self, city):
+        compiled = city.compiled()
+        destination = 3
+        scale = 90.0 / 3.6
+        column = compiled.heuristic_column(destination, scale)
+        goal_x, goal_y = compiled.xs[destination], compiled.ys[destination]
+        expected = [
+            math.hypot(x - goal_x, y - goal_y) / scale
+            for x, y in zip(compiled.xs, compiled.ys)
+        ]
+        assert column == expected
+
+    def test_column_is_cached_and_lru_bounded(self, city, monkeypatch):
+        compiled = CompiledGraph(city)
+        assert compiled.heuristic_column(0) is compiled.heuristic_column(0)
+        monkeypatch.setattr(CompiledGraph, "HEURISTIC_CACHE_LIMIT", 3)
+        for destination in range(6):
+            compiled.heuristic_column(destination)
+        assert len(compiled._heuristic_columns) == 3
+        # Least recently used destinations were evicted, recent ones kept.
+        assert (5, 1.0) in compiled._heuristic_columns
+        assert (0, 1.0) not in compiled._heuristic_columns
+
+
+class TestRepeatedGoalRoutes:
+    def test_repeated_goal_paths_match_reference(self, city, repeated_goal_pairs):
+        for origin, destination in repeated_goal_pairs:
+            assert fast.astar_path(city, origin, destination) == reference.astar_path(
+                city, origin, destination
+            )
+
+    def test_time_cost_with_heuristic_speed_matches_reference(self, city, repeated_goal_pairs):
+        for origin, destination in repeated_goal_pairs[:8]:
+            assert fast.astar_path(
+                city, origin, destination, cost=fast.free_flow_time_cost, heuristic_speed_kmh=90.0
+            ) == reference.astar_path(
+                city, origin, destination, cost=reference.free_flow_time_cost,
+                heuristic_speed_kmh=90.0,
+            )
+
+    def test_astar_agrees_with_dijkstra_cost(self, city, repeated_goal_pairs):
+        for origin, destination in repeated_goal_pairs[:8]:
+            astar = fast.astar_path(city, origin, destination)
+            dijkstra = fast.dijkstra_path(city, origin, destination)
+            assert fast.path_cost(city, astar) == pytest.approx(
+                fast.path_cost(city, dijkstra), rel=1e-12
+            )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, PlannerConfig
+from repro.config import DEFAULT_CONFIG, DEFAULT_SERVICE_CONFIG, PlannerConfig, ServiceConfig
 from repro.exceptions import ConfigurationError
 
 
@@ -51,3 +51,47 @@ class TestPlannerConfigValidation:
     def test_config_is_frozen(self):
         with pytest.raises(Exception):
             DEFAULT_CONFIG.workers_per_task = 3
+
+
+class TestServiceConfig:
+    def test_default_service_config_is_valid(self):
+        DEFAULT_SERVICE_CONFIG.validate()
+        assert DEFAULT_SERVICE_CONFIG.backend == "pooled"
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("backend", "bogus"),
+            ("pool_size", 0),
+            ("max_pending_batches", 0),
+            ("merge_every_batches", 0),
+            ("stream_batch_size", 0),
+            # Planner-level validation still applies to the subclass.
+            ("confidence_threshold", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**{field: value})
+
+    def test_from_planner_config_lifts_planner_fields(self):
+        planner_config = PlannerConfig(workers_per_task=7, random_seed=99)
+        config = ServiceConfig.from_planner_config(planner_config, pool_size=3, backend="inline")
+        assert config.workers_per_task == 7
+        assert config.random_seed == 99
+        assert config.pool_size == 3
+        assert config.backend == "inline"
+
+    def test_planner_config_round_trip(self):
+        planner_config = PlannerConfig(workers_per_task=7, truth_reuse_radius_m=300.0)
+        config = ServiceConfig.from_planner_config(planner_config, pool_size=2)
+        assert config.planner_config() == planner_config
+
+    def test_to_dict_includes_serving_fields(self):
+        data = ServiceConfig(pool_size=4, merge_every_batches=2).to_dict()
+        assert data["pool_size"] == 4
+        assert data["merge_every_batches"] == 2
+        assert data["workers_per_task"] == DEFAULT_CONFIG.workers_per_task
+
+    def test_is_a_planner_config(self):
+        assert isinstance(DEFAULT_SERVICE_CONFIG, PlannerConfig)
