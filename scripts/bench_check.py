@@ -48,14 +48,30 @@ def compare(committed: dict, candidate: dict, threshold: float) -> list:
     return failures
 
 
+def _wire_bytes_text(summary: dict, group: str) -> str:
+    """Render a suite's bytes-on-wire record (``—`` when it has none)."""
+    record = summary.get("wire_bytes", {}).get(group)
+    if not record:
+        return "—"
+    compiled, shrink = record.get("compiled"), record.get("shrink")
+    if compiled is None or shrink is None:
+        return "—"
+    return f"{compiled / 1024:.1f} KiB ({shrink:.1f}x smaller)"
+
+
 def render_summary_markdown(committed: dict, candidate: dict, threshold: float, failures: list) -> str:
-    """Markdown delta table of committed vs measured speedups per suite."""
+    """Markdown delta table of committed vs measured speedups per suite.
+
+    Suites that record payload sizes (the truth wire codec) get a
+    wire-bytes column, so payload regressions surface on the job summary
+    alongside timing drift.
+    """
     failed_groups = {group for group, *_ in failures}
     lines = [
         "### Hot-path speedup trajectory (fast path vs preserved oracle)",
         "",
-        "| suite | committed | measured | delta | status |",
-        "|---|---:|---:|---:|:---|",
+        "| suite | committed | measured | delta | wire bytes | status |",
+        "|---|---:|---:|---:|---:|:---|",
     ]
     groups = sorted(set(committed.get("speedups", {})) | set(candidate.get("speedups", {})))
     for group in groups:
@@ -70,8 +86,19 @@ def render_summary_markdown(committed: dict, candidate: dict, threshold: float, 
             delta_text = "new suite"
         else:
             delta_text = "—"
+        wire_text = _wire_bytes_text(candidate, group)
+        if wire_text == "—":
+            # No measurement this run: show the committed figure but label
+            # it, so a suite that stopped reporting payload sizes cannot
+            # pass stale data off as measured.
+            recorded_wire = _wire_bytes_text(committed, group)
+            if recorded_wire != "—":
+                wire_text = f"{recorded_wire} (committed)"
         status = "❌ regressed" if group in failed_groups else "✅"
-        lines.append(f"| {group} | {recorded_text} | {measured_text} | {delta_text} | {status} |")
+        lines.append(
+            f"| {group} | {recorded_text} | {measured_text} | {delta_text} "
+            f"| {wire_text} | {status} |"
+        )
     lines.append("")
     if failures:
         lines.append(

@@ -56,6 +56,7 @@ def summarise(raw: dict) -> dict:
     """Compress pytest-benchmark output into the trajectory schema."""
     benchmarks = {}
     groups: dict = {}
+    group_wire_bytes: dict = {}
     for entry in raw.get("benchmarks", []):
         stats = entry["stats"]
         name = entry["name"]
@@ -65,6 +66,10 @@ def summarise(raw: dict) -> dict:
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        wire = entry.get("extra_info", {}).get("wire_bytes")
+        if wire is not None:
+            benchmarks[name]["wire_bytes"] = int(wire)
+            group_wire_bytes.setdefault(entry.get("group"), {})[name] = int(wire)
         groups.setdefault(entry.get("group"), {})[name] = stats["mean"]
 
     speedups = {}
@@ -75,6 +80,21 @@ def summarise(raw: dict) -> dict:
             if len(fast) == 1 and len(slow) == 1 and fast[0] > 0:
                 speedups[group] = round(slow[0] / fast[0], 3)
 
+    # Suites whose pair reports payload sizes (``benchmark.extra_info
+    # ["wire_bytes"]``) additionally record bytes-on-wire and the
+    # compiled-vs-reference shrink factor, e.g. the truth wire codec.
+    wire_bytes = {}
+    for group, members in group_wire_bytes.items():
+        for fast_suffix, slow_suffix in _PAIRED_SUFFIXES:
+            fast = [v for k, v in members.items() if k.endswith(fast_suffix)]
+            slow = [v for k, v in members.items() if k.endswith(slow_suffix)]
+            if len(fast) == 1 and len(slow) == 1 and fast[0] > 0:
+                wire_bytes[group] = {
+                    "compiled": fast[0],
+                    "reference": slow[0],
+                    "shrink": round(slow[0] / fast[0], 3),
+                }
+
     return {
         "suite": "hot_paths",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
@@ -82,6 +102,7 @@ def summarise(raw: dict) -> dict:
         "datetime": raw.get("datetime"),
         "benchmarks": benchmarks,
         "speedups": speedups,
+        "wire_bytes": wire_bytes,
     }
 
 

@@ -143,6 +143,10 @@ DEFAULT_CONFIG = PlannerConfig()
 #: Names accepted by :attr:`ServiceConfig.backend`.
 SERVING_BACKENDS = ("inline", "pooled")
 
+#: Codecs accepted by :attr:`ServiceConfig.truth_wire` — how the pooled
+#: backend ships parent→worker truth deltas.
+TRUTH_WIRE_FORMATS = ("columnar", "pickle")
+
 
 @dataclass(frozen=True)
 class ServiceConfig(PlannerConfig):
@@ -175,6 +179,20 @@ class ServiceConfig(PlannerConfig):
         always receive the deltas they are missing with their shard
         dispatch, so this only bounds how stale an *idle* worker's warm
         partition may grow — it never affects results.
+    truth_wire:
+        Codec for parent→worker truth-delta streaming: ``"columnar"`` (the
+        default — deltas travel as a
+        :class:`~repro.serving.protocol.TruthDeltaBlock` of node-index
+        arrays, several times smaller on the wire) or ``"pickle"`` (the
+        pickled-object fallback).  A pure transport choice — decoded deltas
+        are exactly the pickled objects, so results never depend on it.
+    respawn_workers:
+        When ``True`` (the default) the pooled backend replaces dead pool
+        workers in place at the next batch: one process is re-forked per
+        loss — inheriting the parent's current truth state — instead of
+        resubmitting around a shrinking pool until whole-pool loss forces a
+        full re-fork.  Purely a capacity/latency policy; results are
+        identical either way.
     stream_batch_size:
         Default batch size of :meth:`RecommendationService.stream`.
     share_candidate_generation:
@@ -187,6 +205,8 @@ class ServiceConfig(PlannerConfig):
     use_processes: bool = True
     max_pending_batches: int = 16
     merge_every_batches: int = 1
+    truth_wire: str = "columnar"
+    respawn_workers: bool = True
     stream_batch_size: int = 32
     share_candidate_generation: bool = True
 
@@ -202,6 +222,10 @@ class ServiceConfig(PlannerConfig):
             raise ConfigurationError("max_pending_batches must be at least 1")
         if self.merge_every_batches < 1:
             raise ConfigurationError("merge_every_batches must be at least 1")
+        if self.truth_wire not in TRUTH_WIRE_FORMATS:
+            raise ConfigurationError(
+                f"truth_wire must be one of {TRUTH_WIRE_FORMATS}, got {self.truth_wire!r}"
+            )
         if self.stream_batch_size < 1:
             raise ConfigurationError("stream_batch_size must be at least 1")
 

@@ -1,4 +1,11 @@
-"""Aggregation of worker responses into a task result."""
+"""Aggregation of worker responses into a task result.
+
+Both response representations are supported: the object path
+(:class:`~repro.core.task.WorkerResponse` lists) and the columnar path
+(:class:`~repro.core.task.ResponseBlock`), whose votes are tallied straight
+off the ``chosen_route_index`` column without materializing any answer
+objects until the final :class:`TaskResult` is built.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ..config import DEFAULT_CONFIG, PlannerConfig
 from ..exceptions import TaskGenerationError
 from .early_stop import EarlyStopMonitor
-from .task import Task, TaskResult, WorkerResponse
+from .task import ResponseBlock, Task, TaskResult, WorkerResponse
 
 
 class AnswerAggregator:
@@ -86,3 +93,39 @@ class AnswerAggregator:
             if decision.should_stop:
                 return self.aggregate(task, collected, expected, stopped_early=len(collected) < len(responses_in_arrival_order))
         return self.aggregate(task, collected, expected, stopped_early=False)
+
+    def collect_block_with_early_stop(
+        self,
+        task: Task,
+        block: ResponseBlock,
+        expected_total: Optional[int] = None,
+    ) -> TaskResult:
+        """Columnar twin of :meth:`collect_with_early_stop`.
+
+        Walks the block's arrival-ordered ``chosen_route_index`` column,
+        accumulating votes incrementally (the object path re-tallies the
+        prefix after every response — same counts, quadratic work) and
+        evaluating the early-stop rule after each one.  Only the collected
+        arrival prefix is materialized into :class:`WorkerResponse` objects,
+        and the final :class:`TaskResult` is built by :meth:`aggregate` on
+        that prefix — the exact code path the object oracle ends in.
+        """
+        total = len(block)
+        if total == 0:
+            raise TaskGenerationError("cannot aggregate an empty response set")
+        expected = expected_total if expected_total is not None else total
+        # .tolist() once: Python ints keep the votes dict (and everything
+        # derived from it) free of numpy scalar types.
+        chosen = block.chosen_route_index.tolist()
+        votes: Dict[int, int] = {}
+        collected = 0
+        stopped = False
+        for index in chosen:
+            votes[index] = votes.get(index, 0) + 1
+            collected += 1
+            if self.early_stop.evaluate(votes, expected).should_stop:
+                stopped = collected < total
+                break
+        return self.aggregate(
+            task, block.materialize(collected), expected, stopped_early=stopped
+        )

@@ -34,7 +34,7 @@ from ..routing.base import CandidateRoute, RouteQuery, RouteSource
 from ..trajectory.calibration import AnchorCalibrator
 from .aggregation import AnswerAggregator
 from .early_stop import EarlyStopMonitor
-from .evaluation import EvaluationDecision, EvaluationOutcome, RouteEvaluator
+from .evaluation import EvaluationDecision, EvaluationOutcome, RouteEvaluator, grade_answers
 from .familiarity import FamiliarityModel
 from .rewards import RewardLedger
 from .task import Task, TaskResult, WorkerResponse, reissue_task_id
@@ -49,6 +49,15 @@ class CrowdBackend(abc.ABC):
 
     Production deployments would push questions to mobile clients; the
     reproduction uses :class:`repro.crowd.simulator.SimulatedCrowd`.
+
+    Backends may additionally expose ``collect_responses_block(task,
+    worker_ids) -> Optional[ResponseBlock]`` — the columnar fast path the
+    planner prefers when present.  A block-capable backend may return
+    ``None`` to decline a particular call (the planner then falls back to
+    :meth:`collect_responses`); when it does return a block, materializing
+    it must yield exactly what :meth:`collect_responses` would have
+    returned — the columnar representation is a performance channel, never
+    a semantic one.
     """
 
     @abc.abstractmethod
@@ -512,21 +521,39 @@ class CrowdPlanner:
             )
 
         worker_ids = self.worker_selector.select(task, self.config.workers_per_task)
+        collect_block = getattr(self.crowd_backend, "collect_responses_block", None)
         for worker_id in worker_ids:
             self.worker_pool.assign(worker_id)
         try:
-            responses = self.crowd_backend.collect_responses(task, worker_ids)
+            # Prefer the columnar channel: responses arrive as flat numpy
+            # columns and answer objects are materialized only for the
+            # collected arrival prefix, when the TaskResult is built.
+            block = collect_block(task, worker_ids) if collect_block is not None else None
+            if block is None:
+                responses = self.crowd_backend.collect_responses(task, worker_ids)
         finally:
             for worker_id in worker_ids:
                 self.worker_pool.release(worker_id)
-        if not responses:
-            raise WorkerSelectionError("the crowd backend returned no responses")
 
-        result = self.aggregator.collect_with_early_stop(task, responses, expected_total=len(worker_ids))
+        if block is not None:
+            if not len(block):
+                raise WorkerSelectionError("the crowd backend returned no responses")
+            result = self.aggregator.collect_block_with_early_stop(
+                task, block, expected_total=len(worker_ids)
+            )
+        else:
+            if not responses:
+                raise WorkerSelectionError("the crowd backend returned no responses")
+            result = self.aggregator.collect_with_early_stop(
+                task, responses, expected_total=len(worker_ids)
+            )
         self.statistics.crowd_tasks += 1
         self.statistics.questions_asked += result.total_questions_asked
 
-        self._update_answer_history(result)
+        if block is not None:
+            self._update_answer_history_block(result, block)
+        else:
+            self._update_answer_history(result)
         self.rewards.reward_task(result)
         self.truths.record(query, result.winning_route, verified_by="crowd", confidence=result.confidence)
         return RecommendationResult(
@@ -572,3 +599,27 @@ class CrowdPlanner:
             for answer in response.answers:
                 correct = answer.says_yes == winner.passes(answer.landmark_id)
                 worker.record_answer(answer.landmark_id, correct)
+
+    def _update_answer_history_block(self, result: TaskResult, block) -> None:
+        """Columnar twin of :meth:`_update_answer_history`.
+
+        Grades only the collected arrival prefix (exactly the answers inside
+        ``result.responses``) in one vectorized pass
+        (:func:`~repro.core.evaluation.grade_answers`), then credits the
+        per-worker histories in the same response/answer order as the object
+        path — the counters land identically.
+        """
+        collected = len(result.responses)
+        upto = block.questions_answered(collected)
+        winner = result.task.landmark_routes[result.winning_route_index]
+        landmark_ids = block.answer_landmark_ids[:upto]
+        correct = grade_answers(winner, landmark_ids, block.answer_says_yes[:upto])
+        landmarks = landmark_ids.tolist()
+        flags = correct.tolist()
+        offsets = block.answer_offsets.tolist()
+        worker_ids = block.worker_ids.tolist()
+        for row in range(collected):
+            worker = self.worker_pool.get(worker_ids[row])
+            record = worker.record_answer
+            for position in range(offsets[row], offsets[row + 1]):
+                record(landmarks[position], flags[position])

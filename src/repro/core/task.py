@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..exceptions import TaskGenerationError
 from ..landmarks.model import LandmarkCatalog
@@ -50,6 +52,107 @@ class WorkerResponse:
     @property
     def questions_answered(self) -> int:
         return len(self.answers)
+
+
+@dataclass(eq=False)  # ndarray fields: identity comparison, not elementwise
+class ResponseBlock:
+    """Columnar form of one task's worker responses, in arrival order.
+
+    The batched crowd simulator produces its responses as flat numpy columns
+    instead of :class:`Answer`/:class:`WorkerResponse` object trees: one row
+    per response in the per-response columns, one row per answered question
+    in the per-answer columns, with ``answer_offsets`` slicing the answer
+    columns CSR-style per response.  Downstream consumers that only need
+    counts, votes or correctness (tallying, early stopping, answer-history
+    grading) read the columns directly; :class:`WorkerResponse` objects are
+    materialized lazily — and only for the arrival prefix that was actually
+    collected — at the planner boundary via :meth:`materialize`.
+
+    ``answer_correct`` records each answer's agreement with the simulation's
+    *ground truth* (a diagnostic column; grading against the crowd-verified
+    winner happens downstream, because the winner is only known after
+    aggregation), and ``answer_accuracy`` the behaviour-model accuracy the
+    answer was sampled under.
+    """
+
+    task: Task
+    #: per-response columns (arrival order)
+    worker_ids: np.ndarray            # int64
+    chosen_route_index: np.ndarray    # int64
+    total_response_time_s: np.ndarray  # float64
+    #: CSR offsets into the per-answer columns, length ``len(self) + 1``
+    answer_offsets: np.ndarray        # int64
+    #: per-answer columns (response order, question order within a response)
+    answer_landmark_ids: np.ndarray   # int64
+    answer_says_yes: np.ndarray       # bool
+    answer_correct: np.ndarray        # bool (vs ground truth)
+    answer_accuracy: np.ndarray       # float64
+    answer_time_s: np.ndarray         # float64
+    _materialized: Optional[List[WorkerResponse]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.worker_ids)
+
+    @property
+    def num_answers(self) -> int:
+        return len(self.answer_landmark_ids)
+
+    def questions_answered(self, upto: Optional[int] = None) -> int:
+        """Total questions answered by the first ``upto`` responses (all by
+        default) — ``sum(r.questions_answered)`` without materializing."""
+        position = len(self) if upto is None else upto
+        return int(self.answer_offsets[position])
+
+    def materialize(self, upto: Optional[int] = None) -> List[WorkerResponse]:
+        """Materialize the first ``upto`` responses (all by default) as
+        :class:`WorkerResponse` objects, identical to the object path's.
+
+        The full materialization is cached (benchmark equivalence checks and
+        repeated planner-boundary reads pay the object construction once);
+        prefixes reuse the cache when present.
+        """
+        count = len(self) if upto is None else min(upto, len(self))
+        if self._materialized is not None:
+            return self._materialized[:count]
+        offsets = self.answer_offsets
+        # Convert only what the prefix needs: an early-stopped task
+        # materializes nothing of the uncollected tail.
+        answers_end = int(offsets[count])
+        worker_ids = self.worker_ids[:count].tolist()
+        chosen = self.chosen_route_index[:count].tolist()
+        totals = self.total_response_time_s[:count].tolist()
+        landmarks = self.answer_landmark_ids[:answers_end].tolist()
+        says_yes = self.answer_says_yes[:answers_end].tolist()
+        times = self.answer_time_s[:answers_end].tolist()
+        responses = []
+        for row in range(count):
+            worker_id = worker_ids[row]
+            answers = [
+                Answer(
+                    worker_id=worker_id,
+                    landmark_id=landmarks[position],
+                    says_yes=says_yes[position],
+                    response_time_s=times[position],
+                )
+                for position in range(offsets[row], offsets[row + 1])
+            ]
+            responses.append(
+                WorkerResponse(
+                    worker_id=worker_id,
+                    answers=answers,
+                    chosen_route_index=chosen[row],
+                    total_response_time_s=totals[row],
+                )
+            )
+        if count == len(self):
+            self._materialized = responses
+        return responses
+
+    def to_responses(self) -> List[WorkerResponse]:
+        """Every response as objects (cached full materialization)."""
+        return self.materialize()
 
 
 @dataclass

@@ -197,7 +197,7 @@ class TruthDatabase:
             merged.append(renumbered)
         return merged
 
-    def adopt_all(self, truths: Iterable[VerifiedTruth]) -> None:
+    def adopt_all(self, truths) -> None:
         """Adopt already-issued truths *keeping their ids* (delta import hook).
 
         This is the receiving end of the serving layer's truth streaming: a
@@ -206,7 +206,15 @@ class TruthDatabase:
         preserved (they are the lookup tie-break, so relative order must
         match the parent) and the process-local id sequence is advanced past
         them, keeping locally recorded truths strictly newer.
+
+        ``truths`` is any iterable of :class:`VerifiedTruth` — or a columnar
+        :class:`~repro.serving.protocol.TruthDeltaBlock`, which is decoded
+        against this store's own network (duck-typed via ``decode_truths``
+        so the core layer needs no serving import).
         """
+        decode = getattr(truths, "decode_truths", None)
+        if decode is not None:
+            truths = decode(self.network)
         for truth in truths:
             if truth.truth_id in self._truths:
                 raise TruthStoreError(f"truth id {truth.truth_id} already present")

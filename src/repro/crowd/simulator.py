@@ -7,16 +7,24 @@ answer from the worker's :class:`~repro.crowd.behavior.AnswerBehaviorModel`
 from the worker's exponential rate, and returns the responses in arrival
 order — which is what makes early stopping meaningful.
 
-The default path is *batched*: the behaviour model is evaluated once per
-worker over the task's full landmark set (a single vectorized accuracy
-computation) instead of once per question, and the question landmarks' anchors
-and truth flags are resolved once per task instead of once per (worker,
-question).  The original question-by-question path is preserved as
-:meth:`SimulatedCrowd.collect_responses_sequential` — the oracle the batched
-path is benchmarked and equivalence-tested against.  Both paths consume the
-task's derived RNG in the identical order (one uniform draw plus one
-exponential draw per question, workers in assignment order), so they return
-identical responses.
+The default path is *columnar*: the behaviour model is evaluated once per
+crew over the task's full landmark set (a single vectorized accuracy
+computation), the question tree is flattened once per task into parallel
+index arrays, and every worker's walk appends scalars to flat columns — a
+:class:`~repro.core.task.ResponseBlock` — instead of building
+:class:`~repro.core.task.Answer`/:class:`~repro.core.task.WorkerResponse`
+object trees.  Objects are materialized lazily at the planner boundary
+(:meth:`ResponseBlock.materialize`).  Two oracles are preserved:
+
+* :meth:`SimulatedCrowd.collect_responses_objects` — the batched tree walk
+  that builds answer objects eagerly (what the columnar path is benchmarked
+  and equivalence-tested against in the ``crowd_columnar`` suite);
+* :meth:`SimulatedCrowd.collect_responses_sequential` — the original
+  question-by-question simulation (the oracle of the ``crowd_batch`` suite).
+
+All three paths consume the task's derived RNG in the identical order (one
+uniform draw plus one exponential draw per question, workers in assignment
+order), so they return identical responses.
 
 Randomness is *content-keyed*: each task's RNG is derived from the simulator
 seed plus a signature of the task itself (query endpoints, departure time,
@@ -30,19 +38,21 @@ a different global order (and in different OS processes).
 
 from __future__ import annotations
 
+import math
 import random
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.planner import CrowdBackend
-from ..core.task import Answer, Task, WorkerResponse
+from ..core.task import Answer, ResponseBlock, Task, WorkerResponse
 from ..core.worker import WorkerPool
 from ..exceptions import CrowdPlannerError
 from ..landmarks.model import LandmarkCatalog
 from ..routing.base import RouteQuery
 from ..trajectory.calibration import AnchorCalibrator
-from ..utils.rng import derive_rng
+from ..utils.rng import SeedSequence, derive_rng
 from .behavior import AnswerBehaviorModel
 
 GroundTruthProvider = Callable[[RouteQuery], Sequence[int]]
@@ -53,6 +63,98 @@ batched simulation caches each query's calibrated truth-landmark set, so a
 provider whose answer drifts mid-run would desynchronise the batched path
 from the sequential oracle.
 """
+
+
+class _CompiledTree:
+    """A task's question tree flattened into parallel index arrays.
+
+    The walk of the object path chases ``QuestionNode`` attributes and a
+    landmark-position dict per question; the compiled form replaces every
+    step with list indexing: node ``i`` asks about landmark *position*
+    ``landmark_pos[i]`` (an index into :attr:`landmark_ids`, ``-1`` for a
+    leaf), branches to ``yes_child[i]``/``no_child[i]``, and a leaf resolves
+    to candidate-route index ``route_index[i]``.  Anchor coordinate columns
+    are resolved once per tree, so repeated collections of the same task
+    (benchmark rounds, re-queried tasks) skip the catalogue walk entirely.
+
+    Compiled trees are cached per ``QuestionTree`` *identity* (trees are
+    immutable once built) in a :class:`weakref.WeakKeyDictionary`, so the
+    cache can never outlive the tasks it serves.  Because a tree belongs to
+    exactly one task, per-task derived state that is expensive to recompute
+    on repeated collections lives here too: the content-derived RNG seed,
+    the per-landmark ground-truth flags, and the behaviour-model accuracy
+    rows per worker crew (worker anchors are registration-time profile data
+    — the same assumption the familiarity model's raw matrix rests on — so
+    the rows are a pure function of ``(tree, crew)``).
+    """
+
+    __slots__ = (
+        "landmark_ids",
+        "xs",
+        "ys",
+        "landmark_pos",
+        "yes_child",
+        "no_child",
+        "route_index",
+        "max_questions",
+        "rng_seed",
+        "truthful",
+        "accuracy_rows",
+    )
+
+    def __init__(self, task: Task, catalog: LandmarkCatalog):
+        landmark_ids: List[int] = []
+        position: Dict[int, int] = {}
+        landmark_pos: List[int] = []
+        yes_child: List[int] = []
+        no_child: List[int] = []
+        route_index: List[int] = []
+
+        # Preorder flatten; children are appended after their parent, so the
+        # node at index 0 is the root.  Landmark first-seen order matches the
+        # object path's `_question_landmarks` (yes-subtree first).
+        stack = [(task.question_tree.root, -1, True)]
+        while stack:
+            node, parent, is_yes = stack.pop()
+            index = len(landmark_pos)
+            if parent >= 0:
+                if is_yes:
+                    yes_child[parent] = index
+                else:
+                    no_child[parent] = index
+            if node.is_leaf:
+                landmark_pos.append(-1)
+                yes_child.append(-1)
+                no_child.append(-1)
+                route_index.append(task.route_index(node.decided_route))
+                continue
+            landmark_id = node.landmark_id
+            pos = position.get(landmark_id)
+            if pos is None:
+                pos = len(landmark_ids)
+                position[landmark_id] = pos
+                landmark_ids.append(landmark_id)
+            landmark_pos.append(pos)
+            yes_child.append(-1)
+            no_child.append(-1)
+            route_index.append(-1)
+            # Pop order: yes child is flattened first (first-seen parity
+            # with the object path's stack, which pushes no then yes last).
+            stack.append((node.no_child, index, False))
+            stack.append((node.yes_child, index, True))
+
+        self.landmark_ids = landmark_ids
+        self.landmark_pos = landmark_pos
+        self.yes_child = yes_child
+        self.no_child = no_child
+        self.route_index = route_index
+        anchors = [catalog.get(lid).anchor for lid in landmark_ids]
+        self.xs = np.array([anchor.x for anchor in anchors], dtype=np.float64)
+        self.ys = np.array([anchor.y for anchor in anchors], dtype=np.float64)
+        self.max_questions = max(1, task.max_questions())
+        self.rng_seed: Optional[int] = None
+        self.truthful: Optional[List[bool]] = None
+        self.accuracy_rows: Dict[Tuple[int, ...], List[List[float]]] = {}
 
 
 class SimulatedCrowd(CrowdBackend):
@@ -74,9 +176,10 @@ class SimulatedCrowd(CrowdBackend):
     seed:
         Seed for answer sampling and response times.
     batched:
-        When true (the default) each worker's answer accuracies are computed
-        in one vectorized behaviour-model evaluation over the task's landmark
-        set; ``False`` routes every call through the sequential oracle.
+        When true (the default) responses are produced columnar (one
+        vectorized behaviour-model evaluation per crew, compiled tree walk,
+        flat columns); ``False`` routes every call through the sequential
+        oracle and disables the columnar fast path.
     """
 
     def __init__(
@@ -102,6 +205,9 @@ class SimulatedCrowd(CrowdBackend):
         # dominant shared cost when the experiment harness re-queries hot
         # od-pairs.
         self._truth_cache: Dict[Tuple[int, int, float], frozenset] = {}
+        # Compiled question trees, keyed by tree identity (weak: dies with
+        # the task).
+        self._compiled_trees: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------- interface
     def collect_responses(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
@@ -110,6 +216,138 @@ class SimulatedCrowd(CrowdBackend):
             raise CrowdPlannerError("collect_responses called with no workers")
         if not self.batched:
             return self._collect_sequential(task, worker_ids)
+        return self.collect_responses_block(task, worker_ids).to_responses()
+
+    def collect_responses_block(
+        self, task: Task, worker_ids: Sequence[int]
+    ) -> Optional[ResponseBlock]:
+        """The columnar fast path: one :class:`ResponseBlock` per task.
+
+        Returns ``None`` when the simulator was built with ``batched=False``
+        (the planner then falls back to :meth:`collect_responses`, keeping
+        the pure object path exercisable end to end).
+        """
+        if not self.batched:
+            return None
+        if not worker_ids:
+            raise CrowdPlannerError("collect_responses called with no workers")
+        tree = self._compiled_tree(task)
+        # The RNG seed, truth flags and crew accuracy rows are pure functions
+        # of the task content (and static worker profiles): computed on the
+        # first collection, reused on repeats.
+        if tree.rng_seed is None:
+            tree.rng_seed = SeedSequence(self.seed).seed_for(self._task_signature(task))
+        rng = random.Random(tree.rng_seed)
+        truthful = tree.truthful
+        if truthful is None:
+            truth_landmarks = self._cached_truth_landmarks(task.query)
+            truthful = [lid in truth_landmarks for lid in tree.landmark_ids]
+            tree.truthful = truthful
+        max_questions = tree.max_questions
+
+        crew = tuple(worker_ids)
+        workers = [self.pool.get(worker_id) for worker_id in worker_ids]
+        accuracies = tree.accuracy_rows.get(crew)
+        if accuracies is None:
+            accuracies = self.behavior.answer_accuracies_matrix(workers, tree.xs, tree.ys).tolist()
+            if len(tree.accuracy_rows) >= 8:
+                tree.accuracy_rows.clear()
+            tree.accuracy_rows[crew] = accuracies
+
+        # Flat columns, appended scalar-by-scalar during the walks; the
+        # numpy conversion happens once per task after arrival sorting.
+        response_workers: List[int] = []
+        chosen: List[int] = []
+        totals: List[float] = []
+        counts: List[int] = []
+        ans_landmark: List[int] = []
+        ans_yes: List[bool] = []
+        ans_correct: List[bool] = []
+        ans_accuracy: List[float] = []
+        ans_time: List[float] = []
+
+        landmark_ids = tree.landmark_ids
+        landmark_pos = tree.landmark_pos
+        yes_child, no_child = tree.yes_child, tree.no_child
+        rng_random = rng.random
+        log = math.log
+        for worker, row in zip(workers, accuracies):
+            per_question_time = 1.0 / max(worker.response_rate, 1e-9) / max_questions
+            # rng.expovariate(lambd) is exactly -log(1 - random()) / lambd;
+            # inlining it (with lambd rounded once, like the oracle's
+            # argument) keeps the draws bit-identical while skipping the
+            # method dispatch per question.
+            lambd = 1.0 / per_question_time if per_question_time > 0 else 0.0
+            total_time = 0.0
+            questions = 0
+            node = 0
+            pos = landmark_pos[0]
+            while pos >= 0:
+                accuracy = row[pos]
+                truthful_answer = truthful[pos]
+                says_yes = truthful_answer if rng_random() < accuracy else not truthful_answer
+                elapsed = -log(1.0 - rng_random()) / lambd if lambd else 0.0
+                total_time += elapsed
+                questions += 1
+                ans_landmark.append(landmark_ids[pos])
+                ans_yes.append(says_yes)
+                ans_correct.append(says_yes == truthful_answer)
+                ans_accuracy.append(accuracy)
+                ans_time.append(elapsed)
+                node = yes_child[node] if says_yes else no_child[node]
+                pos = landmark_pos[node]
+            response_workers.append(worker.worker_id)
+            chosen.append(tree.route_index[node])
+            totals.append(total_time)
+            counts.append(questions)
+
+        # Arrival order: total response time, worker id breaking ties —
+        # identical to the object paths' sort.
+        order = sorted(range(len(workers)), key=lambda i: (totals[i], response_workers[i]))
+        starts = [0] * len(workers)
+        acc = 0
+        for i, count in enumerate(counts):
+            starts[i] = acc
+            acc += count
+        offsets = [0] * (len(workers) + 1)
+        o_landmark: List[int] = []
+        o_yes: List[bool] = []
+        o_correct: List[bool] = []
+        o_accuracy: List[float] = []
+        o_time: List[float] = []
+        for out_row, i in enumerate(order):
+            begin, end = starts[i], starts[i] + counts[i]
+            o_landmark.extend(ans_landmark[begin:end])
+            o_yes.extend(ans_yes[begin:end])
+            o_correct.extend(ans_correct[begin:end])
+            o_accuracy.extend(ans_accuracy[begin:end])
+            o_time.extend(ans_time[begin:end])
+            offsets[out_row + 1] = len(o_landmark)
+        return ResponseBlock(
+            task=task,
+            worker_ids=np.array([response_workers[i] for i in order], dtype=np.int64),
+            chosen_route_index=np.array([chosen[i] for i in order], dtype=np.int64),
+            total_response_time_s=np.array([totals[i] for i in order], dtype=np.float64),
+            answer_offsets=np.array(offsets, dtype=np.int64),
+            answer_landmark_ids=np.array(o_landmark, dtype=np.int64),
+            answer_says_yes=np.array(o_yes, dtype=bool),
+            answer_correct=np.array(o_correct, dtype=bool),
+            answer_accuracy=np.array(o_accuracy, dtype=np.float64),
+            answer_time_s=np.array(o_time, dtype=np.float64),
+        )
+
+    def collect_responses_objects(
+        self, task: Task, worker_ids: Sequence[int]
+    ) -> List[WorkerResponse]:
+        """The batched object path (the columnar path's preserved oracle).
+
+        One vectorized behaviour-model evaluation per crew, then a
+        per-worker tree walk building :class:`Answer` objects eagerly —
+        the pre-columnar default, kept for the ``crowd_columnar``
+        equivalence assertion and benchmark pair.
+        """
+        if not worker_ids:
+            raise CrowdPlannerError("collect_responses called with no workers")
         rng = self._task_rng(task)
         truth_landmarks = self._cached_truth_landmarks(task.query)
 
@@ -142,6 +380,13 @@ class SimulatedCrowd(CrowdBackend):
         return self._collect_sequential(task, worker_ids)
 
     # -------------------------------------------------------------- internal
+    def _compiled_tree(self, task: Task) -> _CompiledTree:
+        tree = self._compiled_trees.get(task.question_tree)
+        if tree is None:
+            tree = _CompiledTree(task, self.catalog)
+            self._compiled_trees[task.question_tree] = tree
+        return tree
+
     def _collect_sequential(self, task: Task, worker_ids: Sequence[int]) -> List[WorkerResponse]:
         rng = self._task_rng(task)
         truth_landmarks = self._ground_truth_landmarks(task.query)
@@ -155,16 +400,27 @@ class SimulatedCrowd(CrowdBackend):
     def _task_rng(self, task: Task) -> random.Random:
         """Derive the task's RNG from its *content* rather than a counter.
 
-        The signature covers everything that distinguishes one crowd task from
-        another — the query endpoints and departure time, the selected
-        landmark set and every candidate path — so identical tasks sample
+        The signature (:meth:`_task_signature`) covers everything that
+        distinguishes one crowd task from another, so identical tasks sample
         identical randomness no matter when, in what order, or in which
         process they are collected.  (Within one planner batch the same task
         content cannot reach the crowd twice: the first resolution records a
         verified truth that answers any od-identical repeat.)
         """
+        return derive_rng(self.seed, self._task_signature(task))
+
+    @staticmethod
+    def _task_signature(task: Task) -> str:
+        """The task-content string the per-task RNG is derived from.
+
+        Covers the query endpoints and departure time, the selected landmark
+        set and every candidate path.  ``derive_rng(seed, signature)`` and
+        ``random.Random(SeedSequence(seed).seed_for(signature))`` are the
+        same RNG by construction — the columnar path caches the derived seed
+        integer per task and rebuilds the ``Random`` from it.
+        """
         query = task.query
-        signature = "task-{}-{}-{!r}-{}-{}".format(
+        return "task-{}-{}-{!r}-{}-{}".format(
             query.origin,
             query.destination,
             query.departure_time_s,
@@ -174,7 +430,6 @@ class SimulatedCrowd(CrowdBackend):
                 for landmark_route in task.landmark_routes
             ),
         )
-        return derive_rng(self.seed, signature)
 
     @staticmethod
     def _question_landmarks(task: Task) -> List[int]:

@@ -71,6 +71,35 @@ class _SearchState:
         return self.generation
 
 
+class _LazyHeuristicColumn:
+    """Per-touched-node A* heuristic for a destination's first query.
+
+    Indexable like the precomputed list column but computes (and memoizes)
+    each node's value on first access with the exact same ``math.hypot``
+    arithmetic, so a search guided by it is bit-identical to one guided by
+    the full column — it just never pays for nodes it does not touch.
+    """
+
+    __slots__ = ("xs", "ys", "goal_x", "goal_y", "scale", "values")
+
+    def __init__(self, xs, ys, goal_x: float, goal_y: float, scale: float):
+        self.xs = xs
+        self.ys = ys
+        self.goal_x = goal_x
+        self.goal_y = goal_y
+        self.scale = scale
+        self.values: Dict[int, float] = {}
+
+    def __getitem__(self, node: int) -> float:
+        value = self.values.get(node)
+        if value is None:
+            value = math.hypot(self.xs[node] - self.goal_x, self.ys[node] - self.goal_y)
+            if self.scale != 1.0:
+                value /= self.scale
+            self.values[node] = value
+        return value
+
+
 class CompiledGraph:
     """Immutable CSR snapshot of a road network for fast repeated searches."""
 
@@ -116,10 +145,13 @@ class CompiledGraph:
         self._metric_tokens: Dict[str, object] = {}
         self._metric_adjacency: Dict[str, List[List[Tuple[float, int, int]]]] = {}
         self._arrays: Optional[Dict[str, np.ndarray]] = None
+        self._location_index: Optional[Dict[Tuple[float, float], int]] = None
         self._state_pool: List[_SearchState] = []
-        # Per-destination A* heuristic columns, LRU-bounded (see
+        # Per-destination A* heuristic columns, LRU-bounded, plus the
+        # first-hit probe ledger of the lazy hybrid (see
         # :meth:`heuristic_column`).
         self._heuristic_columns: "OrderedDict[Tuple[int, float], List[float]]" = OrderedDict()
+        self._heuristic_probes: "OrderedDict[Tuple[int, float], None]" = OrderedDict()
 
     # ------------------------------------------------------------- structure
     @property
@@ -261,6 +293,21 @@ class CompiledGraph:
             for i in range(self.node_count)
         ]
 
+    def node_index_by_location(self) -> Dict[Tuple[float, float], int]:
+        """``(x, y) -> node index`` over the compiled nodes (lazy, cached).
+
+        The truth wire codec (:mod:`repro.serving.protocol`) uses this to
+        ship truth endpoints — which are always node locations — as node
+        *indices* instead of coordinate pairs.  If two nodes share exact
+        coordinates the later one wins, which is harmless: the decoder only
+        needs the coordinate values back, not the node identity.
+        """
+        if self._location_index is None:
+            self._location_index = {
+                (x, y): i for i, (x, y) in enumerate(zip(self.xs, self.ys))
+            }
+        return self._location_index
+
     def arrays(self) -> Dict[str, np.ndarray]:
         """Numpy mirrors of the CSR structure (built lazily, then cached)."""
         if self._arrays is None:
@@ -275,35 +322,48 @@ class CompiledGraph:
         return self._arrays
 
     #: Heuristic columns kept per graph; beyond this many (destination,
-    #: scale) pairs the least recently used column is dropped.
+    #: scale) pairs the least recently used column is dropped.  The
+    #: first-hit probe ledger is bounded at four times this.
     HEURISTIC_CACHE_LIMIT = 128
 
-    def heuristic_column(self, destination: int, heuristic_scale: float = 1.0) -> List[float]:
-        """Per-node straight-line heuristic values towards ``destination``.
+    def heuristic_column(self, destination: int, heuristic_scale: float = 1.0):
+        """Per-node straight-line heuristic towards ``destination`` (hybrid).
 
-        The column is the whole-graph precomputation of the A* heuristic —
-        ``hypot(x - goal_x, y - goal_y) / scale`` for every node — built once
-        per (destination, scale) and cached LRU-bounded, so repeated searches
-        towards the same goal (production traffic is dominated by hot
-        destinations) pay zero heuristic arithmetic after the first query.
+        Returns something indexable by node: on a destination's *first*
+        query a :class:`_LazyHeuristicColumn` that computes
+        ``hypot(x - goal_x, y - goal_y) / scale`` per touched node on
+        demand; from the *second* query on, the fully precomputed column
+        (a plain list), built once and cached LRU-bounded.
+
+        The hybrid keeps both traffic shapes fast: hot destinations
+        (production's dominant case) index a ready column with zero
+        heuristic arithmetic after their second query, while a one-off
+        destination — the common case on huge graphs — never pays the
+        whole-graph pass, only its search's touched nodes.
 
         Values are computed with :func:`math.hypot`, *not* ``np.hypot``: the
         two can disagree in the last ulp, and heuristic ulps change heap
-        ordering — the column must reproduce the reference implementation's
-        arithmetic exactly for searches to stay bit-identical to it.
-
-        Trade-off: a cold destination pays one whole-graph pass up front
-        (the former lazy scheme paid only for touched nodes).  On city-scale
-        graphs a guided search touches a large fraction of the nodes anyway
-        and hot-destination traffic dominates, so the column wins overall;
-        for huge graphs with mostly one-off destinations a lazy first-hit
-        hybrid would be the next step (see ROADMAP).
+        ordering — both forms must reproduce the reference implementation's
+        arithmetic exactly (and therefore each other's) for searches to stay
+        bit-identical to it.
         """
         key = (destination, heuristic_scale)
         column = self._heuristic_columns.get(key)
         if column is not None:
             self._heuristic_columns.move_to_end(key)
             return column
+        probes = self._heuristic_probes
+        if key not in probes:
+            # First query for this (destination, scale): note it and serve
+            # per-touched-node values.
+            probes[key] = None
+            if len(probes) > 4 * self.HEURISTIC_CACHE_LIMIT:
+                probes.popitem(last=False)
+            return _LazyHeuristicColumn(
+                self.xs, self.ys, self.xs[destination], self.ys[destination], heuristic_scale
+            )
+        # Second query: the destination is warm — precompute the column.
+        del probes[key]
         hypot = math.hypot
         goal_x, goal_y = self.xs[destination], self.ys[destination]
         if heuristic_scale == 1.0:
@@ -390,11 +450,11 @@ class CompiledGraph:
 
         ``heuristic_scale`` divides the Euclidean distance (1.0 for length
         costs; metres-per-second of the fastest road for time costs).  The
-        heuristic comes from the precomputed per-destination
+        heuristic comes from the hybrid per-destination
         :meth:`heuristic_column` — identical arithmetic to the reference —
-        so repeated searches towards the same goal (and every relaxation
-        within one search) index a ready column instead of recomputing
-        ``hypot`` per touched node.
+        so a destination's first search computes only its touched nodes and
+        every later search towards the same goal indexes a ready
+        precomputed column.
         """
         heuristic = self.heuristic_column(destination, heuristic_scale)
         state = self._acquire_state()

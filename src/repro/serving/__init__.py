@@ -34,6 +34,8 @@ from .protocol import (
     ResultProvenance,
     ServingBackend,
     Ticket,
+    TruthDeltaBlock,
+    encode_truth_delta,
     recommendation_fingerprint,
     response_fingerprint,
     wrap_requests,
@@ -51,6 +53,8 @@ __all__ = [
     "ServingBackend",
     "ShardedRecommendationEngine",
     "Ticket",
+    "TruthDeltaBlock",
+    "encode_truth_delta",
     "recommendation_fingerprint",
     "response_fingerprint",
     "wrap_requests",

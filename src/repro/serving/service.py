@@ -43,7 +43,7 @@ from collections import OrderedDict, deque
 from multiprocessing.connection import wait as mp_wait
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from ..config import ServiceConfig
+from ..config import TRUTH_WIRE_FORMATS, ServiceConfig
 from ..core.planner import CrowdPlanner, ShardPlan
 from ..exceptions import ServingError
 from ..routing.base import RouteQuery
@@ -55,6 +55,7 @@ from .protocol import (
     ResultProvenance,
     ServingBackend,
     Ticket,
+    encode_truth_delta,
     wrap_requests,
 )
 from .shards import ShardJob, ShardOutcome, execute_shard_job, merge_shard_outcomes
@@ -102,9 +103,12 @@ def _pool_worker_main(conn, planner: CrowdPlanner) -> None:
     The worker's ``planner`` is its fork-inherited copy of the parent's —
     the *base* whose truth store is kept warm across batches: ``run`` and
     ``sync`` messages carry the truths the parent merged since this worker
-    last heard from it (:meth:`TruthDatabase.adopt_all` preserves parent
-    ids, keeping lookup tie-breaks identical), and each shard then executes
-    on a fresh clone over a copy-on-write slice of the warm base.  Strict
+    last heard from it — as a columnar
+    :class:`~repro.serving.protocol.TruthDeltaBlock` or a pickled object
+    list, whichever codec the backend is configured with;
+    :meth:`TruthDatabase.adopt_all` accepts both and preserves parent ids,
+    keeping lookup tie-breaks identical — and each shard then executes on a
+    fresh clone over a copy-on-write slice of the warm base.  Strict
     request/reply: every message gets exactly one response.
     """
     while True:
@@ -185,8 +189,20 @@ class PooledBackend(ServingBackend):
     method, shards execute inline through the same clone-and-merge
     machinery, keeping results identical everywhere.
 
+    Truth deltas stream to workers in the codec named by ``truth_wire``:
+    ``"columnar"`` (default) encodes each delta as a
+    :class:`~repro.serving.protocol.TruthDeltaBlock` — node-index arrays,
+    several times smaller on the wire than the ``"pickle"`` object fallback
+    — and the worker's :meth:`TruthDatabase.adopt_all` decodes it against
+    its fork-inherited network, so adopted truths are identical either way.
+
     A worker crash never fails a batch: its shard jobs are resubmitted to a
-    healthy worker (or served inline by the parent when none remains).
+    healthy worker (or served inline by the parent when none remains), and
+    with ``respawn_workers`` (the default) the lost capacity is restored at
+    the next batch by re-forking one replacement per dead worker — the
+    replacement inherits the parent's current planner (truth store
+    included) through ``fork``, so it starts exactly as synced as a
+    freshly-dispatched survivor.
     """
 
     name = "pooled"
@@ -197,18 +213,28 @@ class PooledBackend(ServingBackend):
         use_processes: bool = True,
         persistent: bool = True,
         merge_every_batches: int = 1,
+        truth_wire: str = "columnar",
+        respawn_workers: bool = True,
     ):
         super().__init__()
         if pool_size is not None and pool_size < 1:
             raise ServingError("pool_size must be at least 1")
         if merge_every_batches < 1:
             raise ServingError("merge_every_batches must be at least 1")
+        if truth_wire not in TRUTH_WIRE_FORMATS:
+            raise ServingError(
+                f"truth_wire must be one of {TRUTH_WIRE_FORMATS}, got {truth_wire!r}"
+            )
         self.pool_size = pool_size
         self.use_processes = use_processes
         self.persistent = persistent
         self.merge_every_batches = merge_every_batches
+        self.truth_wire = truth_wire
+        self.respawn_workers = respawn_workers
         self.batches_executed = 0
         self._workers: List[_PoolWorker] = []
+        # One-entry memo of the last encoded delta (see _wire_delta).
+        self._wire_cache: Optional[Tuple[Tuple[int, int], object]] = None
 
     # -------------------------------------------------------------- plumbing
     def bind(self, planner: CrowdPlanner) -> None:
@@ -268,8 +294,12 @@ class PooledBackend(ServingBackend):
         warm = False
         if self._can_fork():
             # Warm only when an existing pool served this batch — a re-fork
-            # after a whole-pool loss is a cold batch like the first one.
+            # after a whole-pool loss is a cold batch like the first one
+            # (replacing individual dead workers is not: the survivors'
+            # warm state is what the batch runs on).
             warm = not self._ensure_pool()
+            if warm:
+                self._respawn_dead()
             try:
                 outcomes = self._run_on_pool(jobs)
             finally:
@@ -301,6 +331,16 @@ class PooledBackend(ServingBackend):
         )
 
     # ------------------------------------------------------------- pool mgmt
+    def _spawn_worker(self, context, cursor: int) -> _PoolWorker:
+        """Fork one worker inheriting the planner's *current* state."""
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_pool_worker_main, args=(child_conn, self.planner), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process, parent_conn, cursor)
+
     def _ensure_pool(self) -> bool:
         """Fork the pool if none is alive; ``True`` when a fork happened."""
         if any(worker.alive for worker in self._workers):
@@ -308,15 +348,33 @@ class PooledBackend(ServingBackend):
         self._workers = []
         context = multiprocessing.get_context("fork")
         cursor = self.planner.truth_cursor()
-        for _ in range(self.resolved_pool_size()):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_pool_worker_main, args=(child_conn, self.planner), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append(_PoolWorker(process, parent_conn, cursor))
+        self._workers = [
+            self._spawn_worker(context, cursor) for _ in range(self.resolved_pool_size())
+        ]
         return True
+
+    def _respawn_dead(self) -> None:
+        """Replace dead pool workers in place (the respawn policy).
+
+        Called at batch start while at least one worker survives (whole-pool
+        loss is `_ensure_pool`'s re-fork).  Each replacement is forked from
+        the parent *now*, so it inherits the planner's current truth store —
+        the same state a survivor holds after adopting every streamed delta
+        — and its cursor starts at the current truth position.  Dead handles
+        are dropped, so the pool returns to ``resolved_pool_size()`` workers
+        instead of shrinking towards inline fallback.
+        """
+        if not (self.persistent and self.respawn_workers):
+            return
+        survivors = [worker for worker in self._workers if worker.alive]
+        missing = self.resolved_pool_size() - len(survivors)
+        if not survivors or missing <= 0:
+            self._workers = survivors or self._workers
+            return
+        context = multiprocessing.get_context("fork")
+        cursor = self.planner.truth_cursor()
+        survivors.extend(self._spawn_worker(context, cursor) for _ in range(missing))
+        self._workers = survivors
 
     def _stop_pool(self) -> None:
         for worker in self._workers:
@@ -364,10 +422,32 @@ class PooledBackend(ServingBackend):
                 worker.mark_dead()
                 return None
 
+    def _wire_delta(self, cursor: int):
+        """The truths recorded since ``cursor``, in the configured codec.
+
+        Columnar deltas cross the pipe as a
+        :class:`~repro.serving.protocol.TruthDeltaBlock`; empty deltas (the
+        steady-state case for workers dispatched every batch) skip encoding
+        entirely, and the pickle fallback ships the objects unchanged.
+        Workers synced to the same point share one encoding: after any
+        batch every participant sits at the same cursor, so the one-entry
+        memo (keyed by cursor + store length — truths are append-only)
+        turns N per-worker encodings of the identical delta into one.
+        """
+        delta = self.planner.truth_delta(cursor)
+        if not delta or self.truth_wire != "columnar":
+            return delta
+        key = (cursor, self.planner.truth_cursor())
+        cached = self._wire_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        block = encode_truth_delta(delta, self.planner.network)
+        self._wire_cache = (key, block)
+        return block
+
     def _dispatch(self, worker: _PoolWorker, jobs: List[ShardJob]) -> bool:
         """Send a run message (with the worker's missing truth deltas)."""
-        delta = self.planner.truth_delta(worker.cursor)
-        if not self._send(worker, ("run", delta, jobs)):
+        if not self._send(worker, ("run", self._wire_delta(worker.cursor), jobs)):
             return False
         worker.cursor = self.planner.truth_cursor()
         return True
@@ -442,7 +522,7 @@ class PooledBackend(ServingBackend):
         for worker in self._alive_workers():
             if worker.cursor >= total:
                 continue
-            if self._send(worker, ("sync", self.planner.truth_delta(worker.cursor))):
+            if self._send(worker, ("sync", self._wire_delta(worker.cursor))):
                 worker.cursor = total
                 synced.append(worker)
         for worker in synced:
@@ -494,6 +574,8 @@ class RecommendationService:
                     pool_size=config.pool_size,
                     use_processes=config.use_processes,
                     merge_every_batches=config.merge_every_batches,
+                    truth_wire=config.truth_wire,
+                    respawn_workers=config.respawn_workers,
                 )
         backend.bind(planner)
         self.backend = backend

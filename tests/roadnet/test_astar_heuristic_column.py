@@ -1,11 +1,14 @@
-"""The precomputed A* heuristic column must not change a single route.
+"""The hybrid A* heuristic column must not change a single route.
 
-The column (:meth:`CompiledGraph.heuristic_column`) replaces the former lazy
-per-node heuristic: same ``math.hypot`` arithmetic, precomputed per
-destination and amortised across repeated same-goal queries.  Heuristic ulps
-change heap ordering, so these tests pin the values to the scalar reference
-arithmetic and the routes to the preserved reference implementation —
-including the repeated-goal traffic shape the cache exists for.
+:meth:`CompiledGraph.heuristic_column` is a lazy first-hit hybrid: a
+destination's first query gets per-touched-node values
+(:class:`_LazyHeuristicColumn`), the second and later queries the fully
+precomputed column — same ``math.hypot`` arithmetic in both forms.
+Heuristic ulps change heap ordering, so these tests pin the values of both
+forms to the scalar reference arithmetic and the routes to the preserved
+reference implementation — including the repeated-goal traffic shape the
+column cache exists for and the one-off destinations the lazy form exists
+for.
 """
 
 import math
@@ -14,7 +17,7 @@ import pytest
 
 from repro.roadnet import reference
 from repro.roadnet import shortest_path as fast
-from repro.roadnet.compiled import CompiledGraph
+from repro.roadnet.compiled import CompiledGraph, _LazyHeuristicColumn
 from repro.roadnet.generators import GridCityConfig, generate_grid_city, random_od_pairs
 
 
@@ -35,37 +38,71 @@ def repeated_goal_pairs(city):
 
 class TestColumnValues:
     def test_column_matches_reference_arithmetic(self, city):
-        compiled = city.compiled()
+        compiled = CompiledGraph(city)
         destination = compiled.node_count // 2
+        first = compiled.heuristic_column(destination)
         column = compiled.heuristic_column(destination)
         goal_x, goal_y = compiled.xs[destination], compiled.ys[destination]
         expected = [
             math.hypot(x - goal_x, y - goal_y) for x, y in zip(compiled.xs, compiled.ys)
         ]
-        assert column == expected  # bitwise: ulps change heap ordering
+        # First hit: lazy per-node values; second: the full column.  Both
+        # must be bitwise-identical to the reference arithmetic (ulps change
+        # heap ordering).
+        assert isinstance(first, _LazyHeuristicColumn)
+        assert [first[node] for node in range(compiled.node_count)] == expected
+        assert column == expected
 
     def test_scaled_column_matches_reference_arithmetic(self, city):
-        compiled = city.compiled()
+        compiled = CompiledGraph(city)
         destination = 3
         scale = 90.0 / 3.6
+        first = compiled.heuristic_column(destination, scale)
         column = compiled.heuristic_column(destination, scale)
         goal_x, goal_y = compiled.xs[destination], compiled.ys[destination]
         expected = [
             math.hypot(x - goal_x, y - goal_y) / scale
             for x, y in zip(compiled.xs, compiled.ys)
         ]
+        assert [first[node] for node in range(compiled.node_count)] == expected
         assert column == expected
+
+    def test_first_query_is_lazy_then_column_is_cached(self, city):
+        compiled = CompiledGraph(city)
+        first = compiled.heuristic_column(0)
+        assert isinstance(first, _LazyHeuristicColumn)
+        assert not first.values  # nothing computed until a node is touched
+        first[5]
+        assert set(first.values) == {5}
+        second = compiled.heuristic_column(0)
+        assert isinstance(second, list)
+        assert compiled.heuristic_column(0) is second  # cached thereafter
+
+    def test_lazy_memoizes_per_node(self, city):
+        compiled = CompiledGraph(city)
+        lazy = compiled.heuristic_column(7)
+        value = lazy[3]
+        assert lazy[3] == value
+        assert lazy.values == {3: value}
 
     def test_column_is_cached_and_lru_bounded(self, city, monkeypatch):
         compiled = CompiledGraph(city)
-        assert compiled.heuristic_column(0) is compiled.heuristic_column(0)
         monkeypatch.setattr(CompiledGraph, "HEURISTIC_CACHE_LIMIT", 3)
         for destination in range(6):
-            compiled.heuristic_column(destination)
+            compiled.heuristic_column(destination)  # first hit: lazy probe
+            compiled.heuristic_column(destination)  # second hit: full column
         assert len(compiled._heuristic_columns) == 3
         # Least recently used destinations were evicted, recent ones kept.
         assert (5, 1.0) in compiled._heuristic_columns
         assert (0, 1.0) not in compiled._heuristic_columns
+
+    def test_probe_ledger_is_bounded(self, city, monkeypatch):
+        compiled = CompiledGraph(city)
+        monkeypatch.setattr(CompiledGraph, "HEURISTIC_CACHE_LIMIT", 2)
+        for destination in range(12):
+            compiled.heuristic_column(destination)  # one-off destinations
+        assert len(compiled._heuristic_probes) <= 4 * 2
+        assert len(compiled._heuristic_columns) == 0  # nothing warmed
 
 
 class TestRepeatedGoalRoutes:
@@ -73,6 +110,21 @@ class TestRepeatedGoalRoutes:
         for origin, destination in repeated_goal_pairs:
             assert fast.astar_path(city, origin, destination) == reference.astar_path(
                 city, origin, destination
+            )
+
+    def test_cold_goal_paths_match_reference(self, repeated_goal_pairs):
+        """Every pair against a fresh graph: each goal's *first* (lazy-form)
+        search must already be route-identical to the reference."""
+        fresh = generate_grid_city(
+            GridCityConfig(rows=8, cols=8, block_size_m=220.0, seed=11, drop_edge_probability=0.06)
+        )
+        seen = set()
+        for origin, destination in repeated_goal_pairs:
+            if destination in seen:
+                continue
+            seen.add(destination)
+            assert fast.astar_path(fresh, origin, destination) == reference.astar_path(
+                fresh, origin, destination
             )
 
     def test_time_cost_with_heuristic_speed_matches_reference(self, city, repeated_goal_pairs):

@@ -168,9 +168,11 @@ class TestCrashRecovery:
     def test_worker_crash_resubmits_to_healthy_worker(
         self, build_serving_planner, serving_workload, sequential_oracle
     ):
+        """With respawn disabled, the pool shrinks but keeps serving."""
         planner = build_serving_planner()
         first, second = serving_workload[:80], serving_workload[80:]
-        with _service(planner, "pooled", 2) as service:
+        backend = PooledBackend(pool_size=2, respawn_workers=False)
+        with RecommendationService(planner, backend=backend) as service:
             before = _fingerprints(service.results(service.submit(first)))
             victim, survivor = service.worker_pids()
             os.kill(victim, signal.SIGKILL)
@@ -180,6 +182,48 @@ class TestCrashRecovery:
         oracle = sequential_oracle["plain"]["fingerprints"]
         assert before + after == oracle
         assert planner.statistics.as_dict() == sequential_oracle["plain"]["statistics"]
+
+    def test_dead_worker_respawned_in_place(
+        self, build_serving_planner, serving_workload, sequential_oracle
+    ):
+        """The default policy re-forks one replacement per dead worker."""
+        planner = build_serving_planner()
+        batches = _chunks(serving_workload, 4)
+        collected = []
+        with _service(planner, "pooled", 2) as service:
+            collected.extend(service.results(service.submit(batches[0])))
+            victim, survivor = service.worker_pids()
+            os.kill(victim, signal.SIGKILL)
+            self._wait_dead(victim)
+            for batch in batches[1:]:
+                collected.extend(service.results(service.submit(batch)))
+            pids = service.worker_pids()
+            # Capacity restored by one freshly forked worker; the survivor
+            # (and its warm truth state) kept serving throughout.
+            assert len(pids) == 2
+            assert survivor in pids
+            assert victim not in pids
+            served_pids = {r.provenance.worker_pid for r in collected}
+            assert set(pids) <= served_pids  # the replacement did real work
+            assert all(r.provenance.warm_pool for r in collected[len(batches[0]):])
+        assert _fingerprints(collected) == sequential_oracle["plain"]["fingerprints"]
+        assert planner.statistics.as_dict() == sequential_oracle["plain"]["statistics"]
+
+    def test_respawned_worker_holds_current_truth_state(
+        self, build_serving_planner, serving_workload
+    ):
+        """A replacement forked mid-session serves repeats from warm truths."""
+        planner = build_serving_planner()
+        with _service(planner, "pooled", 2) as service:
+            service.results(service.submit(serving_workload))
+            victim = service.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            self._wait_dead(victim)
+            repeat = service.results(service.submit(serving_workload))
+            assert len(service.worker_pids()) == 2
+        # Every repeat answer comes straight from the truth store the
+        # replacement inherited at its fork.
+        assert all(response.method == "truth_reuse" for response in repeat)
 
     def test_whole_pool_crash_reforks(self, build_serving_planner, serving_workload, sequential_oracle):
         planner = build_serving_planner()
