@@ -188,11 +188,49 @@ class ServiceConfig(PlannerConfig):
         are exactly the pickled objects, so results never depend on it.
     respawn_workers:
         When ``True`` (the default) the pooled backend replaces dead pool
-        workers in place at the next batch: one process is re-forked per
-        loss — inheriting the parent's current truth state — instead of
-        resubmitting around a shrinking pool until whole-pool loss forces a
-        full re-fork.  Purely a capacity/latency policy; results are
-        identical either way.
+        workers in place — immediately when the supervisor declares one
+        dead mid-batch, and at the next batch edge for anything that
+        slipped through: one process is re-forked per loss — inheriting
+        the parent's current truth state — instead of resubmitting around
+        a shrinking pool until whole-pool loss forces a full re-fork.
+        Purely a capacity/latency policy; results are identical either way.
+    journal_path:
+        Directory of the :class:`~repro.serving.journal.TruthJournal`.
+        When set, the service appends every batch's truth delta to an
+        on-disk log (with periodic compacted snapshots) and, on open,
+        replays any existing journal into the planner — so re-opening a
+        service on the same path after a crash recovers the exact
+        pre-crash truth state.  ``None`` (the default) disables
+        durability.
+    journal_fsync:
+        Whether the journal fsyncs after every appended record (the
+        default).  Disabling trades crash durability of the last few
+        batches for append latency; recovery correctness for whatever
+        *is* on disk is unaffected (torn tails are truncated either way).
+    snapshot_every_truths:
+        Compaction cadence of the journal: once this many truths have
+        accumulated since the last snapshot, the journal writes a
+        compacted snapshot of the whole store and starts a fresh delta
+        segment, bounding replay time.
+    heartbeat_interval_s:
+        Cadence at which a busy pool worker's heartbeat thread signals
+        liveness to the parent while it executes or adopts deltas.
+    rpc_deadline_s:
+        Supervision deadline: a dispatched worker that has neither
+        replied nor heartbeat within this window is declared hung, killed,
+        and its in-flight shard resubmitted.  Must exceed
+        ``heartbeat_interval_s`` with margin; only latency (never results)
+        depends on it.
+    max_respawns_per_batch:
+        Circuit breaker of the mid-batch supervisor: after this many
+        worker respawns within one batch, the backend stops re-forking and
+        degrades the batch's remaining shards to inline (parent-process)
+        execution instead of failing the ticket.
+    respawn_backoff_s / respawn_backoff_max_s:
+        Bounded exponential backoff (with jitter) between mid-batch
+        respawns: the n-th respawn of a batch waits
+        ``min(respawn_backoff_s * 2**n, respawn_backoff_max_s)`` plus a
+        random jitter of up to ``respawn_backoff_s``.
     stream_batch_size:
         Default batch size of :meth:`RecommendationService.stream`.
     share_candidate_generation:
@@ -207,11 +245,36 @@ class ServiceConfig(PlannerConfig):
     merge_every_batches: int = 1
     truth_wire: str = "columnar"
     respawn_workers: bool = True
+    journal_path: Optional[str] = None
+    journal_fsync: bool = True
+    snapshot_every_truths: int = 512
+    heartbeat_interval_s: float = 0.5
+    rpc_deadline_s: float = 8.0
+    max_respawns_per_batch: int = 2
+    respawn_backoff_s: float = 0.05
+    respawn_backoff_max_s: float = 1.0
     stream_batch_size: int = 32
     share_candidate_generation: bool = True
 
     def validate(self) -> None:
         super().validate()
+        if self.snapshot_every_truths < 1:
+            raise ConfigurationError("snapshot_every_truths must be at least 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError("heartbeat_interval_s must be positive")
+        if self.rpc_deadline_s <= self.heartbeat_interval_s:
+            raise ConfigurationError(
+                "rpc_deadline_s must exceed heartbeat_interval_s (a busy worker "
+                "is only as fresh as its last heartbeat)"
+            )
+        if self.max_respawns_per_batch < 0:
+            raise ConfigurationError("max_respawns_per_batch must be non-negative")
+        if self.respawn_backoff_s < 0:
+            raise ConfigurationError("respawn_backoff_s must be non-negative")
+        if self.respawn_backoff_max_s < self.respawn_backoff_s:
+            raise ConfigurationError(
+                "respawn_backoff_max_s must be at least respawn_backoff_s"
+            )
         if self.backend not in SERVING_BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {SERVING_BACKENDS}, got {self.backend!r}"

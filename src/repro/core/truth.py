@@ -84,6 +84,11 @@ class TruthDatabase:
     def __len__(self) -> int:
         return len(self._truths)
 
+    def __contains__(self, truth_id: int) -> bool:
+        """Whether a truth with this id is stored (journal replay uses this
+        to skip records that were already adopted, making replay idempotent)."""
+        return truth_id in self._truths
+
     @property
     def reuse_cell_size_m(self) -> float:
         """Grid cell size of the endpoint indexes (floored reuse radius).
@@ -381,6 +386,9 @@ class TruthDatabaseView(TruthDatabase):
     # ------------------------------------------------------------- overrides
     def __len__(self) -> int:
         return len(self._member_order) + len(self._truths)
+
+    def __contains__(self, truth_id: int) -> bool:
+        return truth_id in self._truths or truth_id in self._member_ids
 
     def all(self) -> List[VerifiedTruth]:
         base_truths = self._base._truths

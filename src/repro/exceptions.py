@@ -86,3 +86,8 @@ class ConfigurationError(CrowdPlannerError):
 class ServingError(CrowdPlannerError):
     """Invalid interaction with the recommendation service (closed service,
     unknown or already-collected ticket, full submission queue, dead pool)."""
+
+
+class JournalError(ServingError):
+    """Invalid interaction with the truth journal (unusable directory,
+    incompatible codec, appending to a closed journal)."""

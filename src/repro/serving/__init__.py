@@ -16,6 +16,10 @@ path, which stays in place as the behavioural oracle:
 * :mod:`~repro.serving.shards` — the shard clone/execute/merge primitives
   every pooled path shares (interaction-closed shards over copy-on-write
   truth views, submission-order merge);
+* :class:`TruthJournal` — the durability layer: an append-only, CRC-framed
+  log of per-batch truth deltas with compacted snapshots, attached via
+  ``ServiceConfig(journal_path=…)`` and replayed by
+  :meth:`RecommendationService.recover` to the exact pre-crash truth state;
 * :class:`ShardedRecommendationEngine` — the deprecated per-batch shim kept
   for backwards compatibility and as the fork-per-batch baseline.
 
@@ -27,6 +31,7 @@ suites and the ``crowd_shard``/``crowd_stream`` benchmark gates.
 """
 
 from .engine import ShardedRecommendationEngine
+from .journal import TruthJournal
 from .protocol import (
     BatchTimings,
     RecommendRequest,
@@ -54,6 +59,7 @@ __all__ = [
     "ShardedRecommendationEngine",
     "Ticket",
     "TruthDeltaBlock",
+    "TruthJournal",
     "encode_truth_delta",
     "recommendation_fingerprint",
     "response_fingerprint",

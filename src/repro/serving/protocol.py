@@ -102,6 +102,12 @@ class ResultProvenance:
     batch ran on an already-forked pool (the amortisation the persistent
     backend exists for), and ``truth_reused`` whether the answer came
     straight from the verified-truth store.
+
+    ``resubmitted`` marks a result whose shard was re-executed after the
+    supervisor declared its original worker dead mid-batch (``worker_pid``
+    is the process that actually produced the result), and
+    ``respawn_count`` is how many workers the supervisor re-forked during
+    this response's batch — both zero/false on a fault-free run.
     """
 
     backend: str
@@ -112,6 +118,8 @@ class ResultProvenance:
     truth_reused: bool
     warm_pool: bool
     timings: BatchTimings
+    resubmitted: bool = False
+    respawn_count: int = 0
 
 
 @dataclass(frozen=True)
@@ -162,6 +170,11 @@ class BatchExecution:
     execute_s: float = 0.0
     merge_s: float = 0.0
     warm_pool: bool = False
+    #: Per-result flag: the result's shard was resubmitted after its worker
+    #: was declared dead mid-batch (``None`` ≡ all ``False``).
+    resubmitted: Optional[List[bool]] = None
+    #: Workers re-forked by the supervisor while this batch executed.
+    respawn_count: int = 0
 
 
 class ServingBackend(abc.ABC):
@@ -196,6 +209,16 @@ class ServingBackend(abc.ABC):
     def worker_pids(self) -> List[int]:
         """PIDs of live pool workers (empty for in-process backends)."""
         return []
+
+    def supervision_stats(self) -> Dict[str, int]:
+        """Aggregate supervision counters (all zero for in-process backends,
+        which have no workers to lose)."""
+        return {
+            "respawns": 0,
+            "resubmitted_shards": 0,
+            "hung_workers_killed": 0,
+            "degraded_batches": 0,
+        }
 
     def close(self) -> None:
         """Release any long-lived resources (idempotent)."""

@@ -35,18 +35,22 @@ answers because batch-level optimisations are performance-only channels
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import random
+import threading
 import time
 import traceback
 from collections import OrderedDict, deque
 from multiprocessing.connection import wait as mp_wait
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..config import TRUTH_WIRE_FORMATS, ServiceConfig
 from ..core.planner import CrowdPlanner, ShardPlan
 from ..exceptions import ServingError
 from ..routing.base import RouteQuery
+from .journal import TruthJournal
 from .protocol import (
     BatchExecution,
     BatchTimings,
@@ -97,7 +101,9 @@ class InlineBackend(ServingBackend):
 
 
 # ------------------------------------------------------------ pooled backend
-def _pool_worker_main(conn, planner: CrowdPlanner) -> None:
+def _pool_worker_main(
+    conn, planner: CrowdPlanner, heartbeat_interval_s: float = 0.5, stale_conns=()
+) -> None:
     """Long-lived pool worker loop (child process, entered right after fork).
 
     The worker's ``planner`` is its fork-inherited copy of the parent's —
@@ -109,14 +115,53 @@ def _pool_worker_main(conn, planner: CrowdPlanner) -> None:
     :meth:`TruthDatabase.adopt_all` accepts both and preserves parent ids,
     keeping lookup tie-breaks identical — and each shard then executes on a
     fresh clone over a copy-on-write slice of the warm base.  Strict
-    request/reply: every message gets exactly one response.
+    request/reply: every *substantive* message gets exactly one response.
+
+    While a message is being served, a daemon thread additionally emits a
+    ``("beat", pid)`` heartbeat every ``heartbeat_interval_s`` so the
+    parent's supervisor can tell *slow but alive* from *hung*: a worker that
+    neither replies nor beats past the RPC deadline is declared dead
+    mid-batch.  Beats are only sent while busy — an idle worker stays silent,
+    so heartbeats can never fill the pipe buffer of a parent that is not
+    currently draining it (which would deadlock both sides).
     """
+    # Close fork-inherited copies of parent-side pipe ends — this worker's
+    # own ``parent_conn`` and those of every sibling forked before it.
+    # Holding them would keep each pipe's write end open inside the pool
+    # itself, so ``conn.recv()`` could never see EOF after the pool owner is
+    # SIGKILLed and the whole pool would leak as orphans re-parented to init.
+    for stale in stale_conns:
+        try:
+            stale.close()
+        except OSError:  # pragma: no cover - already closed pre-fork
+            pass
+    pid = os.getpid()
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    stopping = threading.Event()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def beat_loop() -> None:
+        while not stopping.wait(heartbeat_interval_s):
+            if not busy.is_set():
+                continue
+            try:
+                send(("beat", pid))
+            except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+                return
+
+    threading.Thread(target=beat_loop, daemon=True).start()
+
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
         kind = message[0]
+        busy.set()
         # Exceptions cross the pipe as rendered text: exception objects with
         # custom constructors do not round-trip through pickle.  A failure
         # while adopting deltas is reported as "desync" — the warm base may
@@ -126,33 +171,36 @@ def _pool_worker_main(conn, planner: CrowdPlanner) -> None:
             if kind == "stop":
                 break
             if kind == "ping":
-                conn.send(("pong", os.getpid()))
+                send(("pong", pid))
             elif kind in ("sync", "run"):
                 try:
                     planner.truths.adopt_all(message[1])
                 except Exception:
-                    conn.send(("desync", os.getpid(), traceback.format_exc()))
+                    send(("desync", pid, traceback.format_exc()))
                     continue
                 if kind == "sync":
-                    conn.send(("synced", os.getpid()))
+                    send(("synced", pid))
                     continue
                 try:
                     outcomes = [execute_shard_job(planner, job) for job in message[2]]
                 except Exception:
-                    conn.send(("error", os.getpid(), traceback.format_exc()))
+                    send(("error", pid, traceback.format_exc()))
                     continue
-                conn.send(("done", os.getpid(), outcomes))
+                send(("done", pid, outcomes))
             else:  # pragma: no cover - protocol guard
-                conn.send(("error", os.getpid(), f"unknown message kind {kind!r}"))
+                send(("error", pid, f"unknown message kind {kind!r}"))
         except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
             break
+        finally:
+            busy.clear()
+    stopping.set()
     conn.close()
 
 
 class _PoolWorker:
     """Parent-side handle of one pool worker."""
 
-    __slots__ = ("process", "conn", "pid", "cursor", "dead")
+    __slots__ = ("process", "conn", "pid", "cursor", "dead", "last_heard")
 
     def __init__(self, process, conn, cursor: int):
         self.process = process
@@ -160,6 +208,10 @@ class _PoolWorker:
         self.pid = process.pid
         self.cursor = cursor  # parent truths already synced to this worker
         self.dead = False
+        self.last_heard = time.monotonic()  # last reply or heartbeat seen
+
+    def touch(self) -> None:
+        self.last_heard = time.monotonic()
 
     @property
     def alive(self) -> bool:
@@ -196,13 +248,21 @@ class PooledBackend(ServingBackend):
     — and the worker's :meth:`TruthDatabase.adopt_all` decodes it against
     its fork-inherited network, so adopted truths are identical either way.
 
-    A worker crash never fails a batch: its shard jobs are resubmitted to a
-    healthy worker (or served inline by the parent when none remains), and
-    with ``respawn_workers`` (the default) the lost capacity is restored at
-    the next batch by re-forking one replacement per dead worker — the
-    replacement inherits the parent's current planner (truth store
-    included) through ``fork``, so it starts exactly as synced as a
-    freshly-dispatched survivor.
+    A worker failure never fails a batch.  The supervisor watches every
+    in-flight worker: a crash is seen as pipe EOF, and a *hung* worker — one
+    that neither replies nor heartbeats for ``rpc_deadline_s`` (SIGSTOP'd,
+    deadlocked, swapped out) — is killed outright.  Either way its in-flight
+    shard is resubmitted to a healthy worker, and (budget permitting) a
+    replacement is re-forked immediately, mid-batch, behind a bounded
+    exponential backoff with jitter; the replacement inherits the parent's
+    current planner (truth store included) through ``fork``, so it starts
+    exactly as synced as a freshly-dispatched survivor.  After
+    ``max_respawns_per_batch`` respawns the circuit breaker opens: no more
+    forks this batch, and if the whole pool is gone the remaining shards
+    degrade to in-process execution — the ticket is still served, and the
+    results are identical by the serving contract.  With ``respawn_workers``
+    (the default) remaining lost capacity is restored at the next batch
+    edge.
     """
 
     name = "pooled"
@@ -215,6 +275,11 @@ class PooledBackend(ServingBackend):
         merge_every_batches: int = 1,
         truth_wire: str = "columnar",
         respawn_workers: bool = True,
+        heartbeat_interval_s: float = 0.5,
+        rpc_deadline_s: float = 8.0,
+        max_respawns_per_batch: int = 2,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_max_s: float = 1.0,
     ):
         super().__init__()
         if pool_size is not None and pool_size < 1:
@@ -225,13 +290,35 @@ class PooledBackend(ServingBackend):
             raise ServingError(
                 f"truth_wire must be one of {TRUTH_WIRE_FORMATS}, got {truth_wire!r}"
             )
+        if heartbeat_interval_s <= 0:
+            raise ServingError("heartbeat_interval_s must be positive")
+        if rpc_deadline_s <= heartbeat_interval_s:
+            raise ServingError("rpc_deadline_s must exceed heartbeat_interval_s")
+        if max_respawns_per_batch < 0:
+            raise ServingError("max_respawns_per_batch must be non-negative")
+        if respawn_backoff_s < 0 or respawn_backoff_max_s < respawn_backoff_s:
+            raise ServingError(
+                "respawn backoff must be non-negative and bounded by its maximum"
+            )
         self.pool_size = pool_size
         self.use_processes = use_processes
         self.persistent = persistent
         self.merge_every_batches = merge_every_batches
         self.truth_wire = truth_wire
         self.respawn_workers = respawn_workers
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.rpc_deadline_s = rpc_deadline_s
+        self.max_respawns_per_batch = max_respawns_per_batch
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_max_s = respawn_backoff_max_s
         self.batches_executed = 0
+        # Lifetime supervision counters (surfaced by ``supervision_stats``).
+        self.respawns_total = 0
+        self.resubmitted_shards_total = 0
+        self.hung_workers_killed = 0
+        self.degraded_batches = 0
+        # Seeded so backoff jitter is reproducible run to run.
+        self._backoff_rng = random.Random(0x5EED)
         self._workers: List[_PoolWorker] = []
         # One-entry memo of the last encoded delta (see _wire_delta).
         self._wire_cache: Optional[Tuple[Tuple[int, int], object]] = None
@@ -252,6 +339,14 @@ class PooledBackend(ServingBackend):
 
     def worker_pids(self) -> List[int]:
         return [worker.pid for worker in self._workers if worker.alive]
+
+    def supervision_stats(self) -> Dict[str, int]:
+        return {
+            "respawns": self.respawns_total,
+            "resubmitted_shards": self.resubmitted_shards_total,
+            "hung_workers_killed": self.hung_workers_killed,
+            "degraded_batches": self.degraded_batches,
+        }
 
     def close(self) -> None:
         self._stop_pool()
@@ -292,6 +387,9 @@ class PooledBackend(ServingBackend):
 
         started = time.perf_counter()
         warm = False
+        resubmitted: Set[int] = set()
+        respawns = 0
+        degraded = False
         if self._can_fork():
             # Warm only when an existing pool served this batch — a re-fork
             # after a whole-pool loss is a cold batch like the first one
@@ -301,13 +399,15 @@ class PooledBackend(ServingBackend):
             if warm:
                 self._respawn_dead()
             try:
-                outcomes = self._run_on_pool(jobs)
+                outcomes, resubmitted, respawns, degraded = self._run_on_pool(jobs)
             finally:
                 if not self.persistent:
                     self._stop_pool()
         else:
             outcomes = [execute_shard_job(planner, job) for job in jobs]
         execute_s = time.perf_counter() - started
+        if degraded:
+            self.degraded_batches += 1
 
         started = time.perf_counter()
         results = merge_shard_outcomes(planner, len(queries), outcomes)
@@ -328,14 +428,25 @@ class PooledBackend(ServingBackend):
             execute_s=execute_s,
             merge_s=merge_s,
             warm_pool=warm,
+            resubmitted=(
+                [origin[0] in resubmitted for origin in origins] if resubmitted else None
+            ),
+            respawn_count=respawns,
         )
 
     # ------------------------------------------------------------- pool mgmt
     def _spawn_worker(self, context, cursor: int) -> _PoolWorker:
         """Fork one worker inheriting the planner's *current* state."""
         parent_conn, child_conn = context.Pipe()
+        # The fork context passes args by reference, so the child receives
+        # the inherited parent-side ends to close (see _pool_worker_main):
+        # its own pipe's, plus each live sibling's.
+        stale_conns = [peer.conn for peer in self._workers if peer.alive]
+        stale_conns.append(parent_conn)
         process = context.Process(
-            target=_pool_worker_main, args=(child_conn, self.planner), daemon=True
+            target=_pool_worker_main,
+            args=(child_conn, self.planner, self.heartbeat_interval_s, stale_conns),
+            daemon=True,
         )
         process.start()
         child_conn.close()
@@ -348,9 +459,10 @@ class PooledBackend(ServingBackend):
         self._workers = []
         context = multiprocessing.get_context("fork")
         cursor = self.planner.truth_cursor()
-        self._workers = [
-            self._spawn_worker(context, cursor) for _ in range(self.resolved_pool_size())
-        ]
+        # Spawn via append so each fork sees the siblings forked before it in
+        # self._workers and closes its inherited copies of their pipe ends.
+        for _ in range(self.resolved_pool_size()):
+            self._workers.append(self._spawn_worker(context, cursor))
         return True
 
     def _respawn_dead(self) -> None:
@@ -373,10 +485,15 @@ class PooledBackend(ServingBackend):
             return
         context = multiprocessing.get_context("fork")
         cursor = self.planner.truth_cursor()
-        survivors.extend(self._spawn_worker(context, cursor) for _ in range(missing))
         self._workers = survivors
+        for _ in range(missing):
+            self._workers.append(self._spawn_worker(context, cursor))
 
     def _stop_pool(self) -> None:
+        """Stop every worker, escalating politely: ``stop`` message →
+        ``join`` with a timeout → ``terminate()`` (SIGTERM) → ``kill()``
+        (SIGKILL, which a SIGSTOP'd or wedged worker cannot ignore) — so a
+        hung worker can never hang interpreter shutdown."""
         for worker in self._workers:
             if worker.alive:
                 try:
@@ -384,11 +501,53 @@ class PooledBackend(ServingBackend):
                 except (BrokenPipeError, OSError):
                     pass
             worker.process.join(timeout=1.0)
-            if worker.process.is_alive():  # pragma: no cover - stuck worker
+            if worker.process.is_alive():
                 worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - ignored SIGTERM
+                worker.process.kill()
                 worker.process.join(timeout=1.0)
             worker.mark_dead()
         self._workers = []
+
+    def _kill_worker(self, worker: _PoolWorker) -> None:
+        """Forcibly retire one worker (SIGKILL works even on a SIGSTOP'd
+        process, which ``terminate``'s SIGTERM would leave pending)."""
+        worker.mark_dead()
+        try:
+            worker.process.kill()
+        except OSError:  # pragma: no cover - already reaped
+            pass
+        worker.process.join(timeout=1.0)
+
+    def _mid_batch_respawn(self, respawns_so_far: int) -> Optional[_PoolWorker]:
+        """Fork a replacement for a worker lost mid-batch, budget permitting.
+
+        Bounded exponential backoff plus jitter spaces consecutive respawns
+        so a fast crash loop cannot hot-spin forks, and
+        ``max_respawns_per_batch`` is the circuit breaker: once the budget
+        is spent, capacity is not restored until the batch edge and — if the
+        whole pool is gone — the remaining shards degrade to in-process
+        execution instead of failing the ticket.  The replacement forks from
+        the parent's *current* planner, which is unchanged since batch start
+        (outcomes merge only after execution), so it is exactly as synced as
+        the workers the batch was dispatched to.
+        """
+        if not (self.persistent and self.respawn_workers and self._can_fork()):
+            return None
+        if respawns_so_far >= self.max_respawns_per_batch:
+            return None
+        delay = min(
+            self.respawn_backoff_max_s,
+            self.respawn_backoff_s * (2 ** respawns_so_far),
+        )
+        if delay > 0:
+            time.sleep(delay * (1.0 + 0.25 * self._backoff_rng.random()))
+        context = multiprocessing.get_context("fork")
+        worker = self._spawn_worker(context, self.planner.truth_cursor())
+        self._workers = [peer for peer in self._workers if peer.alive] + [worker]
+        self.respawns_total += 1
+        return worker
 
     def _alive_workers(self) -> List[_PoolWorker]:
         return [worker for worker in self._workers if worker.alive]
@@ -403,23 +562,42 @@ class PooledBackend(ServingBackend):
             worker.mark_dead()
             return False
 
-    def _recv(self, worker: _PoolWorker):
-        """Next reply from ``worker``, or ``None`` once it is found dead."""
+    def _recv(self, worker: _PoolWorker, deadline_s: Optional[float] = None):
+        """Next substantive reply from ``worker``, or ``None`` once dead.
+
+        Heartbeats are absorbed (each one renews the deadline).  With a
+        ``deadline_s``, a worker that stays silent — no reply, no beat —
+        past the deadline is killed and reported dead: it is hung, and
+        waiting longer cannot help.
+        """
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
         while True:
             try:
                 if worker.conn.poll(0.02):
-                    return worker.conn.recv()
+                    reply = worker.conn.recv()
+                    worker.touch()
+                    if reply[0] == "beat":
+                        if deadline is not None:
+                            deadline = time.monotonic() + deadline_s
+                        continue
+                    return reply
             except (EOFError, OSError):
                 worker.mark_dead()
                 return None
             if not worker.process.is_alive():
                 # Drain anything written before the process died.
                 try:
-                    if worker.conn.poll(0):
-                        return worker.conn.recv()
+                    while worker.conn.poll(0):
+                        reply = worker.conn.recv()
+                        if reply[0] != "beat":
+                            return reply
                 except (EOFError, OSError):
                     pass
                 worker.mark_dead()
+                return None
+            if deadline is not None and time.monotonic() > deadline:
+                self._kill_worker(worker)
+                self.hung_workers_killed += 1
                 return None
 
     def _wire_delta(self, cursor: int):
@@ -452,22 +630,47 @@ class PooledBackend(ServingBackend):
         worker.cursor = self.planner.truth_cursor()
         return True
 
-    def _run_on_pool(self, jobs: List[ShardJob]) -> List[ShardOutcome]:
-        """Serve jobs on the pool with dynamic pull-style load balancing.
+    def _run_on_pool(
+        self, jobs: List[ShardJob]
+    ) -> Tuple[List[ShardOutcome], Set[int], int, bool]:
+        """Serve jobs on the pool with dynamic pull dispatch + supervision.
 
         One job per dispatch: each idle worker pulls the next queued job as
         soon as it finishes its previous one (like ``Pool.map`` with chunk
         size 1), so a skewed batch — one giant shard plus several small
-        ones — never serialises small shards behind the giant.  A worker
-        that dies or desyncs has its job requeued onto the remaining
-        workers; with no workers left the remainder runs in-process.  A
-        shard *execution* error (worker state intact) is raised to the
-        caller after in-flight jobs drain.
+        ones — never serialises small shards behind the giant.
+
+        The supervisor declares an in-flight worker dead on pipe EOF
+        (crash), on desync (its warm base can no longer be trusted), or on
+        silence past ``rpc_deadline_s`` with no heartbeat (hung — killed
+        outright, since SIGKILL works where a reply never will).  Either
+        way its job is requeued *resubmitted* and a replacement is forked
+        immediately, budget permitting; once the ``max_respawns_per_batch``
+        breaker opens and no worker remains, the remaining queue degrades to
+        in-process execution instead of failing the ticket.  A shard
+        *execution* error (worker state intact) is raised to the caller
+        after in-flight jobs drain.
+
+        Returns ``(outcomes, resubmitted shard ids, respawns, degraded)``.
         """
         outcomes: List[ShardOutcome] = []
-        queue = deque(jobs)
-        inflight: Dict[_PoolWorker, ShardJob] = {}
+        # Queue entries are (job, resubmitted): the flag survives requeues so
+        # the final outcome can be attributed to supervision in provenance.
+        queue: "deque[Tuple[ShardJob, bool]]" = deque((job, False) for job in jobs)
+        inflight: Dict[_PoolWorker, Tuple[ShardJob, bool]] = {}
         error: Optional[str] = None
+        resubmitted: Set[int] = set()
+        respawns = 0
+        degraded = False
+
+        def lost(entry: Tuple[ShardJob, bool]) -> None:
+            """Requeue a dead worker's job and try to restore capacity."""
+            nonlocal respawns
+            queue.append((entry[0], True))
+            self.resubmitted_shards_total += 1
+            if self._mid_batch_respawn(respawns) is not None:
+                respawns += 1
+
         while (queue and error is None) or inflight:
             if error is None:
                 for worker in self._alive_workers():
@@ -475,45 +678,69 @@ class PooledBackend(ServingBackend):
                         break
                     if worker in inflight:
                         continue
-                    job = queue.popleft()
-                    if self._dispatch(worker, [job]):
-                        inflight[worker] = job
+                    entry = queue.popleft()
+                    if self._dispatch(worker, [entry[0]]):
+                        worker.touch()
+                        inflight[worker] = entry
                     else:
-                        queue.appendleft(job)
+                        queue.appendleft(entry)
                 if queue and not inflight and not self._alive_workers():
-                    # The whole pool is gone: serve the remainder in-process.
-                    outcomes.extend(execute_shard_job(self.planner, job) for job in queue)
+                    replacement = self._mid_batch_respawn(respawns)
+                    if replacement is not None:
+                        respawns += 1
+                        continue
+                    # The whole pool is gone and the breaker is open (or
+                    # respawns are disabled): degrade — serve the remainder
+                    # in-process rather than fail the ticket.
+                    degraded = True
+                    for job, was_resubmitted in queue:
+                        outcomes.append(execute_shard_job(self.planner, job))
+                        if was_resubmitted:
+                            resubmitted.add(job.shard_id)
                     queue.clear()
                     break
             if not inflight:
                 continue
             ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
+            now = time.monotonic()
             for worker in list(inflight):
                 if worker.conn in ready:
                     try:
                         reply = worker.conn.recv()
                     except (EOFError, OSError):
                         reply = None
-                    job = inflight.pop(worker)
+                    if reply is not None and reply[0] == "beat":
+                        worker.touch()
+                        continue
+                    entry = inflight.pop(worker)
                     if reply is None:
                         worker.mark_dead()
-                        queue.append(job)
+                        lost(entry)
                     elif reply[0] == "done":
+                        worker.touch()
                         outcomes.extend(reply[2])
+                        if entry[1]:
+                            resubmitted.add(entry[0].shard_id)
                     elif reply[0] == "desync":
                         # The worker's warm base is no longer trustworthy.
                         worker.mark_dead()
-                        queue.append(job)
+                        lost(entry)
                     elif reply[0] == "error":
                         error = error or str(reply[2])
                     else:  # pragma: no cover - protocol guard
                         error = error or f"unexpected pool reply {reply[0]!r}"
                 elif not worker.process.is_alive():
                     worker.mark_dead()
-                    queue.append(inflight.pop(worker))
+                    lost(inflight.pop(worker))
+                elif now - worker.last_heard > self.rpc_deadline_s:
+                    # Alive but silent past the deadline — no reply and no
+                    # heartbeat — so it is hung, not slow.
+                    self._kill_worker(worker)
+                    self.hung_workers_killed += 1
+                    lost(inflight.pop(worker))
         if error is not None:
             raise ServingError(f"shard execution failed in a pool worker:\n{error}")
-        return outcomes
+        return outcomes, resubmitted, respawns, degraded
 
     def _push_sync(self) -> None:
         """Stream merged truth deltas to workers that are behind (cadence)."""
@@ -526,7 +753,7 @@ class PooledBackend(ServingBackend):
                 worker.cursor = total
                 synced.append(worker)
         for worker in synced:
-            reply = self._recv(worker)
+            reply = self._recv(worker, deadline_s=self.rpc_deadline_s)
             if reply is None or reply[0] != "synced":
                 # Death, or a partial adopt ("desync"): either way this
                 # worker's warm base can no longer be trusted — retire it
@@ -576,18 +803,84 @@ class RecommendationService:
                     merge_every_batches=config.merge_every_batches,
                     truth_wire=config.truth_wire,
                     respawn_workers=config.respawn_workers,
+                    heartbeat_interval_s=config.heartbeat_interval_s,
+                    rpc_deadline_s=config.rpc_deadline_s,
+                    max_respawns_per_batch=config.max_respawns_per_batch,
+                    respawn_backoff_s=config.respawn_backoff_s,
+                    respawn_backoff_max_s=config.respawn_backoff_max_s,
                 )
         backend.bind(planner)
         self.backend = backend
         self._closed = False
+        self._resubmitted_results = 0
+        # The journal attaches (and replays) before the first batch, so a
+        # lazily forked pool inherits the recovered truth state.
+        self._journal: Optional[TruthJournal] = None
+        if config.journal_path is not None:
+            self._journal = TruthJournal(
+                config.journal_path,
+                wire=config.truth_wire,
+                fsync=config.journal_fsync,
+                snapshot_every_truths=config.snapshot_every_truths,
+            )
+            self._attach_journal()
         self._next_request_id = 1
         self._next_ticket_id = 1
-        self._next_batch_id = 1
+        # Journal records are one-per-executed-batch, so its durable record
+        # count resumes batch numbering exactly where the crashed run stopped.
+        self._next_batch_id = (
+            self._journal.batch_count + 1 if self._journal is not None else 1
+        )
         # Submitted-but-unexecuted batches, in submission order.
         self._pending: "OrderedDict[int, Tuple[List[RecommendRequest], bool]]" = OrderedDict()
         # Executed-but-uncollected responses, keyed by ticket id.
         self._ready: Dict[int, List[RecommendResponse]] = {}
         self._collected: Set[int] = set()
+
+    @classmethod
+    def recover(
+        cls,
+        planner: CrowdPlanner,
+        journal_path,
+        config: Optional[ServiceConfig] = None,
+        backend: Optional[ServingBackend] = None,
+    ) -> "RecommendationService":
+        """Rebuild a service from its truth journal after a crash.
+
+        ``planner`` is a freshly prepared planner for the same scenario —
+        the substrate (network, sources, crowd workers) is code plus
+        scenario data, not journaled state.  Its truth store is brought to
+        the exact pre-crash state by replaying the journal's snapshot and
+        intact tail (a torn final record is truncated with a warning), and
+        the journal stays attached so the recovered service keeps
+        journaling.  Because batch answers depend on planner state only
+        through the truth store (see the serving contract), batches redeemed
+        after recovery are fingerprint-identical to an uninterrupted run.
+        """
+        if config is None:
+            config = ServiceConfig.from_planner_config(planner.config)
+        config = dataclasses.replace(config, journal_path=str(journal_path))
+        return cls(planner, config=config, backend=backend)
+
+    def _attach_journal(self) -> None:
+        """Replay durable truths into the planner, then baseline the rest.
+
+        Any planner truths the journal has never seen (a pre-seeded store,
+        or journaling switched on mid-life) are captured by forcing a
+        snapshot, so the journal alone rebuilds the full truth state —
+        without consuming a journal record, keeping ``batch_count`` an exact
+        executed-batch counter.
+        """
+        journal = self._journal
+        truths = self.planner.truths
+        durable = journal.replay(self.planner.network)
+        durable_ids = {truth.truth_id for truth in durable}
+        baseline = [truth for truth in truths.all() if truth.truth_id not in durable_ids]
+        fresh = [truth for truth in durable if truth.truth_id not in truths]
+        if fresh:
+            truths.adopt_all(fresh)
+        if baseline:
+            journal.snapshot(truths)
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -600,6 +893,8 @@ class RecommendationService:
             return
         self._closed = True
         self.backend.close()
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "RecommendationService":
         return self
@@ -717,9 +1012,26 @@ class RecommendationService:
         return self.backend.worker_pids()
 
     @property
-    def statistics(self):
-        """The underlying planner's resolution counters."""
-        return self.planner.statistics
+    def journal(self) -> Optional[TruthJournal]:
+        """The attached truth journal (``None`` when not journaling)."""
+        return self._journal
+
+    def statistics(self) -> Dict[str, Any]:
+        """Serving-level counters, grouped by concern.
+
+        ``planner`` holds the resolution counters, ``supervision`` the
+        backend's fault-handling aggregates plus the number of responses
+        whose shard was resubmitted after a worker loss, and ``journal``
+        (present only when journaling) the durability counters.
+        """
+        stats: Dict[str, Any] = {
+            "planner": self.planner.statistics.as_dict(),
+            "supervision": dict(self.backend.supervision_stats()),
+        }
+        stats["supervision"]["resubmitted_results"] = self._resubmitted_results
+        if self._journal is not None:
+            stats["journal"] = self._journal.stats()
+        return stats
 
     def plan(self, queries: Sequence[QueryLike]) -> ShardPlan:
         """The shard plan a batch would execute under (diagnostics)."""
@@ -769,15 +1081,27 @@ class RecommendationService:
         queries = [request.query for request in requests]
         batch_id = self._next_batch_id
         self._next_batch_id += 1
+        truth_cursor = self.planner.truth_cursor()
         execution = self.backend.execute_batch(
             queries, share_candidate_generation=share_candidate_generation, plan=plan
         )
+        if self._journal is not None:
+            # One record per executed batch — even with an empty delta — so
+            # the journal's record count is an exact durable progress marker
+            # for crash recovery (which batches need re-executing).
+            self._journal.append(
+                self.planner.truth_delta(truth_cursor),
+                self.planner.truths,
+                meta={"batch_id": batch_id, "size": len(requests)},
+            )
         timings = BatchTimings(
             plan_s=execution.plan_s, execute_s=execution.execute_s, merge_s=execution.merge_s
         )
+        resubmitted = execution.resubmitted or [False] * len(requests)
+        self._resubmitted_results += sum(resubmitted)
         responses = []
-        for request, result, (shard_id, worker_pid) in zip(
-            requests, execution.results, execution.origins
+        for request, result, (shard_id, worker_pid), was_resubmitted in zip(
+            requests, execution.results, execution.origins, resubmitted
         ):
             responses.append(
                 RecommendResponse(
@@ -792,6 +1116,8 @@ class RecommendationService:
                         truth_reused=result.method == "truth_reuse",
                         warm_pool=execution.warm_pool,
                         timings=timings,
+                        resubmitted=was_resubmitted,
+                        respawn_count=execution.respawn_count,
                     ),
                 )
             )

@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the serving layer (the chaos harness).
+
+:class:`FaultInjectingBackend` subclasses the real :class:`PooledBackend`
+and injects faults at its single dispatch choke point, keyed by the global
+*dispatch ordinal* (0-based, counted across batches) so a fault schedule is
+a plain ``{ordinal: kind}`` dict and a given schedule replays identically.
+
+Fault kinds:
+
+``kill_before``
+    SIGKILL the chosen worker, then dispatch to it anyway — models a worker
+    that died between scheduling decisions (detected via EOF/liveness).
+``kill_after``
+    Dispatch normally, then SIGKILL — models a crash mid-execution.
+``hang``
+    Dispatch normally, then SIGSTOP — the worker is alive but silent (no
+    reply, no heartbeat), the case only the deadline supervisor can catch.
+``drop``
+    Pretend the dispatch succeeded without sending it — models a lost
+    protocol message; the idle worker never beats, so the supervisor must
+    declare it hung.
+``delay``
+    Sleep briefly before a normal dispatch — models scheduling jitter; must
+    be absorbed without any supervision action.
+``desync``
+    Replace the truth delta with one that fails adoption, forcing the
+    worker's "desync" reply (untrustworthy warm base → retire + re-fork).
+
+The journal helpers at the bottom tear files the way a crash would:
+truncating mid-record and corrupting payload bytes in place.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.serving.service import PooledBackend, _PoolWorker
+
+#: Supervision knobs tight enough for fast tests: a hung worker is declared
+#: dead within ~0.6 s and respawn backoff adds at most ~0.1 s per fork.
+FAST_SUPERVISION = dict(
+    heartbeat_interval_s=0.05,
+    rpc_deadline_s=0.6,
+    respawn_backoff_s=0.01,
+    respawn_backoff_max_s=0.05,
+)
+
+FAULT_KINDS = ("kill_before", "kill_after", "hang", "drop", "delay", "desync")
+
+
+class _PoisonDelta:
+    """A truth delta whose adoption always fails (crosses the pipe fine)."""
+
+    def decode_truths(self, network):
+        raise RuntimeError("injected fault: poisoned truth delta")
+
+
+class FaultInjectingBackend(PooledBackend):
+    """A :class:`PooledBackend` that injects faults per dispatch ordinal."""
+
+    name = "pooled"  # provenance stays comparable with the real backend
+
+    def __init__(
+        self,
+        schedule: Optional[Dict[int, str]] = None,
+        delay_s: float = 0.05,
+        **kwargs,
+    ):
+        kwargs = {**FAST_SUPERVISION, **kwargs}
+        super().__init__(**kwargs)
+        self.schedule = dict(schedule or {})
+        self.delay_s = delay_s
+        self.dispatch_ordinal = 0
+        self.injected: List[str] = []
+
+    def _dispatch(self, worker: _PoolWorker, jobs) -> bool:
+        fault = self.schedule.get(self.dispatch_ordinal)
+        self.dispatch_ordinal += 1
+        if fault is None:
+            return super()._dispatch(worker, jobs)
+        self.injected.append(fault)
+        if fault == "kill_before":
+            os.kill(worker.pid, signal.SIGKILL)
+            worker.process.join(timeout=2.0)
+            return super()._dispatch(worker, jobs)
+        if fault == "kill_after":
+            sent = super()._dispatch(worker, jobs)
+            if sent:
+                os.kill(worker.pid, signal.SIGKILL)
+                worker.process.join(timeout=2.0)
+            return sent
+        if fault == "hang":
+            sent = super()._dispatch(worker, jobs)
+            if sent:
+                os.kill(worker.pid, signal.SIGSTOP)
+            return sent
+        if fault == "drop":
+            # The parent believes the worker is busy; the worker never hears
+            # a thing (and, being idle, never heartbeats).
+            return True
+        if fault == "delay":
+            time.sleep(self.delay_s)
+            return super()._dispatch(worker, jobs)
+        if fault == "desync":
+            if not self._send(worker, ("run", _PoisonDelta(), jobs)):
+                return False
+            worker.cursor = self.planner.truth_cursor()
+            return True
+        raise AssertionError(f"unknown fault kind {fault!r}")
+
+
+# --------------------------------------------------------- journal file chaos
+_FRAME = struct.Struct("<III")
+_JOURNAL_MAGIC_LEN = 6  # b"RPTJ1\n"
+
+
+def journal_segment(journal_dir) -> Path:
+    """The newest delta segment file in a journal directory."""
+    segments = sorted(Path(journal_dir).glob("journal-*.log"))
+    assert segments, f"no journal segment in {journal_dir}"
+    return segments[-1]
+
+
+def tear_tail(journal_dir, keep_bytes_of_last_record: int = 3) -> None:
+    """Truncate the last record mid-payload, as a crash during append would."""
+    segment = journal_segment(journal_dir)
+    data = segment.read_bytes()
+    offset = _JOURNAL_MAGIC_LEN
+    last_start = None
+    while offset + _FRAME.size <= len(data):
+        length = _FRAME.unpack_from(data, offset)[0]
+        last_start = offset
+        offset += _FRAME.size + length
+    assert last_start is not None, "journal has no records to tear"
+    segment.write_bytes(data[: last_start + _FRAME.size + keep_bytes_of_last_record])
+
+
+def corrupt_tail(journal_dir) -> None:
+    """Flip a byte inside the last record's payload (CRC must catch it)."""
+    segment = journal_segment(journal_dir)
+    data = bytearray(segment.read_bytes())
+    offset = _JOURNAL_MAGIC_LEN
+    last_payload_at = None
+    while offset + _FRAME.size <= len(data):
+        length = _FRAME.unpack_from(data, offset)[0]
+        last_payload_at = offset + _FRAME.size
+        offset += _FRAME.size + length
+    assert last_payload_at is not None and last_payload_at < len(data)
+    data[last_payload_at] ^= 0xFF
+    segment.write_bytes(bytes(data))
+
+
+def append_garbage(journal_dir, blob: bytes = b"\x07garbage\x07" * 3) -> None:
+    """Append trailing junk (a torn frame header) to the segment."""
+    with open(journal_segment(journal_dir), "ab") as handle:
+        handle.write(blob)
