@@ -1,8 +1,9 @@
 """Hot-path microbenchmarks: compiled routing core vs. reference, spatial
 index queries, sparse vs. dense PMF training, the crowd-evaluation pipeline
 (compiled popularity routing, vectorized familiarity kernels, batched crowd
-simulation) vs. its preserved sequential oracles, and the sharded serving
-engine vs. sequential ``recommend_batch``.
+simulation) vs. its preserved sequential oracles, the sharded serving
+engine vs. sequential ``recommend_batch``, and the cross-batch pipelined
+scheduler vs. the per-batch barrier.
 
 These benchmarks seed the repo's performance trajectory: run them through
 ``scripts/bench_to_json.py`` to (re)generate ``BENCH_hot_paths.json`` at the
@@ -528,6 +529,91 @@ def test_crowd_stream_reference(benchmark, stream_setup):
     build_planner, batches, oracle = stream_setup
     results = benchmark.pedantic(
         _run_stream_per_batch, args=(build_planner, batches), rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+    assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+# ------------------------------------------------------------ crowd pipeline
+def _run_stream_windowed(build_planner, batches, pipeline_window):
+    """One service session, whole stream submitted before collecting, so
+    consecutive batches are pending together and the configured window can
+    engage (window 1 is the per-batch barrier on the same client shape)."""
+    planner = build_planner()
+    config = ServiceConfig.from_planner_config(
+        planner.config,
+        backend="pooled",
+        pool_size=2,
+        pipeline_window=pipeline_window,
+        max_pending_batches=max(16, len(batches)),
+    )
+    results = []
+    with RecommendationService(planner, config) as service:
+        tickets = [service.submit(batch) for batch in batches]
+        for ticket in tickets:
+            results.extend(response.result for response in service.results(ticket))
+    return results
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup(serving_city):
+    """A steady stream plus the sequential oracle, gated before timing.
+
+    The pipelined scheduler must be fingerprint-identical to the sequential
+    oracle for every window size it will be timed at (and one more for
+    luck): windows {1, 2, 4} all run the full stream and compare before a
+    single round is measured, so a timing win can never hide a scheduling
+    divergence.
+    """
+    scenario, build_planner = serving_city
+    batches = generate_stream_workload(
+        scenario.network,
+        StreamWorkloadConfig(
+            num_batches=8, batch_size=30, num_clusters=6,
+            dominant_destination_fraction=0.15, seed=101,
+        ),
+    )
+    oracle_planner = build_planner()
+    oracle = []
+    for batch in batches:
+        oracle.extend(
+            recommendation_fingerprint(result)
+            for result in oracle_planner.recommend_batch(batch)
+        )
+    for window in (1, 2, 4):
+        fingerprints = [
+            recommendation_fingerprint(r)
+            for r in _run_stream_windowed(build_planner, batches, window)
+        ]
+        assert fingerprints == oracle, (
+            f"pipelined serving diverged from the sequential oracle at window={window}"
+        )
+    return build_planner, batches, oracle
+
+
+@pytest.mark.benchmark(group="crowd_pipeline")
+def test_crowd_pipeline_compiled(benchmark, pipeline_setup):
+    """The cross-batch DAG dispatcher at window 4 over the steady stream.
+
+    Ratios are core-count dependent like the other serving suites: on a
+    single core the DAG walk adds scheduling overhead with nothing to
+    overlap onto, so the committed ratio — not 1.0 — is the trajectory
+    gate; on multi-core hardware the overlap of independent shards across
+    batch boundaries is the win this suite exists to measure."""
+    build_planner, batches, oracle = pipeline_setup
+    results = benchmark.pedantic(
+        _run_stream_windowed, args=(build_planner, batches, 4), rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+    assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+@pytest.mark.benchmark(group="crowd_pipeline")
+def test_crowd_pipeline_reference(benchmark, pipeline_setup):
+    """The per-batch barrier (window 1) on the identical client shape."""
+    build_planner, batches, oracle = pipeline_setup
+    results = benchmark.pedantic(
+        _run_stream_windowed, args=(build_planner, batches, 1), rounds=3, iterations=1,
         warmup_rounds=0,
     )
     assert [recommendation_fingerprint(r) for r in results] == oracle

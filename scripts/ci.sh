@@ -50,6 +50,9 @@ if command -v ruff >/dev/null 2>&1; then
     ruff format --check src || echo "WARNING: ruff format differences (advisory)"
 fi
 
+echo "== docs lint =="
+python scripts/docs_check.py
+
 echo "== tier-1 tests =="
 if [[ "$run_all" == 1 ]]; then
     python -m pytest -x -q ${cov_args[@]+"${cov_args[@]}"}

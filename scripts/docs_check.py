@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Docs lint: internal links resolve and the README matches the examples.
+
+Checks, over ``README.md`` and ``docs/*.md``:
+
+1. every relative markdown link ``[text](target)`` points at a file that
+   exists (anchors are checked against the target file's headings, slugified
+   the way GitHub does);
+2. every ``examples/*.py`` is listed in the README's Examples section, and
+   the description the README gives is the first line of the example's
+   module docstring — so the index can never drift from the scripts.
+
+Run from anywhere: paths resolve against the repo root.  Exits non-zero
+with one line per problem (consumed by ``scripts/ci.sh`` and the CI lint
+job).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` inline links; images share the syntax (leading ``!``).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _doc_files():
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {_slugify(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def _check_links(errors: list) -> None:
+    for doc in _doc_files():
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(ROOT)}: file missing")
+            continue
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = target.partition("#")
+            resolved = (doc.parent / target).resolve() if target else doc
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {match.group(1)}"
+                )
+                continue
+            if anchor and resolved.suffix == ".md" and anchor not in _anchors(resolved):
+                errors.append(
+                    f"{doc.relative_to(ROOT)}: broken anchor -> {match.group(1)}"
+                )
+
+
+def _docstring_first_line(path: Path) -> str:
+    doc = ast.get_docstring(ast.parse(path.read_text())) or ""
+    return doc.strip().splitlines()[0].strip() if doc.strip() else ""
+
+
+def _check_examples(errors: list) -> None:
+    readme = (ROOT / "README.md").read_text()
+    # The README hard-wraps prose, so compare with whitespace collapsed.
+    flat = re.sub(r"\s+", " ", readme)
+    for example in sorted((ROOT / "examples").glob("*.py")):
+        rel = f"examples/{example.name}"
+        first_line = _docstring_first_line(example)
+        if not first_line:
+            errors.append(f"{rel}: missing module docstring")
+            continue
+        if rel not in readme:
+            errors.append(f"README.md: {rel} is not listed")
+            continue
+        if re.sub(r"\s+", " ", first_line) not in flat:
+            errors.append(
+                f"README.md: description for {rel} does not match its "
+                f"docstring first line: {first_line!r}"
+            )
+
+
+def main() -> int:
+    errors: list = []
+    _check_links(errors)
+    _check_examples(errors)
+    for error in errors:
+        print(f"docs_check: {error}", file=sys.stderr)
+    if errors:
+        print(f"docs_check: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    docs = len(_doc_files())
+    examples = len(list((ROOT / "examples").glob("*.py")))
+    print(f"docs_check: OK ({docs} docs, {examples} examples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

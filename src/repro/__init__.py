@@ -29,21 +29,29 @@ front:
 
 Serving
 -------
-Large batches scale across OS processes through the sharded serving engine
-(``repro.serving``): the planner's ``shard_plan`` splits a batch into
-interaction-closed od-cell components (no recorded truth can cross a shard
-boundary), each worker process receives a destination-cell partition of the
-truth store plus the shared compiled road network, and the merged results are
-bit-identical to the sequential path — which stays in place as the oracle the
-``crowd_shard`` benchmark suite and the serving property tests compare
-against.  ``workers=1`` (or platforms without ``fork``) serves in-process::
+Steady request streams scale across OS processes through the session-based
+service (``repro.serving``): the planner's ``shard_plan`` splits each batch
+into interaction-closed od-cell components (no recorded truth can cross a
+shard boundary), a persistent forked worker pool keeps truth partitions warm
+between batches, and the merged results are bit-identical to the sequential
+path — which stays in place as the oracle the serving benchmark suites and
+property tests compare against.  ``pool_size=1`` (or platforms without
+``fork``) serves in-process; ``pipeline_window > 1`` overlaps consecutive
+batches whose closures are disjoint::
 
-    from repro.serving import ShardedRecommendationEngine
-    engine = ShardedRecommendationEngine(planner, workers=4)
-    results = engine.recommend_batch(queries)   # == planner.recommend_batch(queries)
+    from repro.config import ServiceConfig
+    from repro.serving import RecommendationService
 
-See ``examples/sharded_serving.py`` for an end-to-end walkthrough and
-experiment E8 (``repro.experiments.exp_throughput``) for the worker sweep.
+    config = ServiceConfig.from_planner_config(planner.config, pool_size=4)
+    with RecommendationService(planner, config) as service:
+        responses = service.recommend_batch(queries)
+        results = [r.result for r in responses]   # == planner.recommend_batch(queries)
+
+See ``examples/sharded_serving.py`` and ``examples/pipelined_stream.py`` for
+end-to-end walkthroughs, experiment E8 (``repro.experiments.exp_throughput``)
+for the backend sweep, and ``docs/serving-invariants.md`` for the contract.
+(The deprecated per-batch :class:`ShardedRecommendationEngine` remains as a
+thin shim over the same machinery.)
 
 Performance
 -----------
@@ -65,7 +73,7 @@ from .core.planner import CrowdPlanner, RecommendationResult, ShardPlan
 from .routing.base import CandidateRoute, RouteQuery
 from .serving import ShardedRecommendationEngine
 
-__version__ = "1.3.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DEFAULT_CONFIG",

@@ -231,8 +231,23 @@ class ServiceConfig(PlannerConfig):
         respawns: the n-th respawn of a batch waits
         ``min(respawn_backoff_s * 2**n, respawn_backoff_max_s)`` plus a
         random jitter of up to ``respawn_backoff_s``.
+    pipeline_window:
+        Rolling-window size of the cross-batch pipelined scheduler: how many
+        consecutive pending batches the service hands to the backend in one
+        :meth:`~repro.serving.protocol.ServingBackend.execute_window` call.
+        ``1`` (the default) is the per-batch barrier — byte-for-byte the
+        pre-pipelining behaviour.  With a larger window the pooled backend
+        dispatches a shard of batch N+1 as soon as every earlier in-flight
+        batch whose reach-expanded destination cells intersect the shard's
+        has merged (see :mod:`repro.serving.pipeline`), keeping the pool
+        saturated across batch boundaries.  Merges stay strictly in
+        submission order, so results are identical for every window size —
+        only latency and throughput depend on it.
     stream_batch_size:
         Default batch size of :meth:`RecommendationService.stream`.
+        :meth:`~repro.serving.RecommendationService.stream` also keeps up to
+        ``pipeline_window`` submitted batches outstanding before redeeming,
+        so a stream actually engages the window scheduler.
     share_candidate_generation:
         Default for the batch-level candidate-generation memo (see
         :meth:`CrowdPlanner.recommend_batch`); never changes answers.
@@ -253,6 +268,7 @@ class ServiceConfig(PlannerConfig):
     max_respawns_per_batch: int = 2
     respawn_backoff_s: float = 0.05
     respawn_backoff_max_s: float = 1.0
+    pipeline_window: int = 1
     stream_batch_size: int = 32
     share_candidate_generation: bool = True
 
@@ -289,6 +305,8 @@ class ServiceConfig(PlannerConfig):
             raise ConfigurationError(
                 f"truth_wire must be one of {TRUTH_WIRE_FORMATS}, got {self.truth_wire!r}"
             )
+        if self.pipeline_window < 1:
+            raise ConfigurationError("pipeline_window must be at least 1")
         if self.stream_batch_size < 1:
             raise ConfigurationError("stream_batch_size must be at least 1")
 

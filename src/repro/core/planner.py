@@ -332,9 +332,12 @@ class CrowdPlanner:
         largest-first.  Because no truth can cross a component boundary,
         executing each shard's queries in submission order (with a truth
         partition covering its ``destination_cells``) reproduces the
-        sequential batch exactly; the serving engine
-        (:class:`repro.serving.ShardedRecommendationEngine`) is built on this
-        guarantee.
+        sequential batch exactly; the serving layer
+        (:class:`repro.serving.RecommendationService` and its pooled backend)
+        is built on this guarantee — including across batch boundaries, where
+        :mod:`repro.serving.pipeline` intersects the reach-expanded
+        ``destination_cells`` of consecutive batches' shards to decide which
+        in-flight batches a shard must wait for.
         """
         if shards < 1:
             raise CrowdPlannerError("shard_plan needs at least one shard")
@@ -575,9 +578,17 @@ class CrowdPlanner:
         """
         return len(self.truths)
 
-    def truth_delta(self, cursor: int) -> List["VerifiedTruth"]:
-        """The truths recorded/absorbed since ``cursor`` (see :meth:`truth_cursor`)."""
-        return self.truths.truths_since(cursor)
+    def truth_delta(self, cursor: int, upto: Optional[int] = None) -> List["VerifiedTruth"]:
+        """The truths recorded/absorbed since ``cursor`` (see :meth:`truth_cursor`).
+
+        ``upto`` bounds the delta to truths recorded before that cursor
+        position — the window executor uses it to journal each batch's own
+        span after several batches merged in one call.
+        """
+        delta = self.truths.truths_since(cursor)
+        if upto is not None:
+            delta = delta[: max(0, upto - max(cursor, 0))]
+        return delta
 
     def replay_task_result(self, result: TaskResult) -> None:
         """Replay a crowd task executed elsewhere onto this planner's state.

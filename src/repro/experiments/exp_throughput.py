@@ -4,9 +4,13 @@ The serving layer (:mod:`repro.serving`) answers a stream of query batches
 through a :class:`~repro.serving.RecommendationService`.  This experiment
 replays the same steady stream (clustered neighbourhoods with a dominant
 destination cell mixed in — the skew case) through every configured backend:
-the ``inline`` sequential oracle and the ``pooled`` persistent worker pool
-at several pool sizes, plus the deprecated per-batch-fork shim as the
-amortisation baseline.  Per run it reports wall time, throughput, speedup
+the ``inline`` sequential oracle, the ``pooled`` persistent worker pool at
+several pool sizes, ``pipelined`` — the same pool with
+``pipeline_window`` batches overlapped by the cross-batch DAG dispatcher —
+plus the deprecated per-batch-fork shim as the amortisation baseline.  The
+pipelined runs submit the whole stream before collecting, so consecutive
+batches are actually pending together and the window can engage.  Per run
+it reports wall time, throughput, speedup
 over the sequential oracle, how many batches ran on a warm (already-forked)
 pool, whether workers were reused without re-forking — and, crucially,
 whether every answer was identical to the sequential run, which is the
@@ -41,12 +45,14 @@ class ThroughputExperimentConfig:
     """Workload and sweep parameters for E8."""
 
     pool_sizes: Tuple[int, ...] = (1, 2, 4)
-    backends: Tuple[str, ...] = ("inline", "pooled", "per_batch")
+    backends: Tuple[str, ...] = ("inline", "pooled", "pipelined", "per_batch")
     num_batches: int = 4
     batch_size: int = 60
     num_clusters: int = 6
     dominant_destination_fraction: float = 0.15
     use_processes: bool = True
+    #: Overlap depth of the ``pipelined`` runs (1 would be the barrier).
+    pipeline_window: int = 4
     seed: int = 131
 
 
@@ -56,6 +62,17 @@ def _serve_stream(service: RecommendationService, batches: List[list]):
     started = time.perf_counter()
     for batch in batches:
         responses.extend(service.results(service.submit(batch)))
+    return responses, time.perf_counter() - started
+
+
+def _serve_stream_pipelined(service: RecommendationService, batches: List[list]):
+    """Submit every batch up front, then collect in submission order — the
+    client shape that hands the backend full windows to overlap."""
+    responses = []
+    started = time.perf_counter()
+    tickets = [service.submit(batch) for batch in batches]
+    for ticket in tickets:
+        responses.extend(service.results(ticket))
     return responses, time.perf_counter() - started
 
 
@@ -103,6 +120,7 @@ def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None)
             "num_clusters": config.num_clusters,
             "dominant_destination_fraction": config.dominant_destination_fraction,
             "use_processes": config.use_processes,
+            "pipeline_window": config.pipeline_window,
         },
     )
 
@@ -122,14 +140,18 @@ def run(scenario: Scenario, config: Optional[ThroughputExperimentConfig] = None)
             warm_batches = 0
             worker_reuse = False
         else:
+            pipelined = backend_name == "pipelined"
             service_config = ServiceConfig.from_planner_config(
                 planner.config,
-                backend=backend_name,
+                backend="pooled" if pipelined else backend_name,
                 pool_size=pool_size,
                 use_processes=config.use_processes,
+                pipeline_window=config.pipeline_window if pipelined else 1,
+                max_pending_batches=max(16, len(batches)),
             )
             with RecommendationService(planner, service_config) as service:
-                responses, elapsed = _serve_stream(service, batches)
+                serve = _serve_stream_pipelined if pipelined else _serve_stream
+                responses, elapsed = serve(service, batches)
                 pids_per_batch = {}
                 for response in responses:
                     if response.provenance.worker_pid is not None:

@@ -16,6 +16,11 @@ path, which stays in place as the behavioural oracle:
 * :mod:`~repro.serving.shards` — the shard clone/execute/merge primitives
   every pooled path shares (interaction-closed shards over copy-on-write
   truth views, submission-order merge);
+* :mod:`~repro.serving.pipeline` — the cross-batch dependency analysis
+  behind ``ServiceConfig(pipeline_window=…)``: consecutive batches execute
+  as one window, and the pooled backend's DAG dispatcher overlaps shards
+  whose reach-expanded cell closures are disjoint while merges stay in
+  strict submission order;
 * :class:`TruthJournal` — the durability layer: an append-only, CRC-framed
   log of per-batch truth deltas with compacted snapshots, attached via
   ``ServiceConfig(journal_path=…)`` and replayed by
@@ -26,12 +31,14 @@ path, which stays in place as the behavioural oracle:
 The service contract — for any backend, pool size and submission
 interleaving, results and post-batch planner state match the sequential
 oracle exactly (up to process-local serials, see
-:func:`recommendation_fingerprint`) — is enforced by the ``tests/serving``
-suites and the ``crowd_shard``/``crowd_stream`` benchmark gates.
+:func:`recommendation_fingerprint`) — holds for every window size and is
+enforced by the ``tests/serving`` suites and the
+``crowd_shard``/``crowd_stream``/``crowd_pipeline`` benchmark gates.
 """
 
 from .engine import ShardedRecommendationEngine
 from .journal import TruthJournal
+from .pipeline import batch_dependencies, window_parallelism
 from .protocol import (
     BatchTimings,
     RecommendRequest,
@@ -40,6 +47,7 @@ from .protocol import (
     ServingBackend,
     Ticket,
     TruthDeltaBlock,
+    WindowBatch,
     encode_truth_delta,
     recommendation_fingerprint,
     response_fingerprint,
@@ -60,8 +68,11 @@ __all__ = [
     "Ticket",
     "TruthDeltaBlock",
     "TruthJournal",
+    "WindowBatch",
+    "batch_dependencies",
     "encode_truth_delta",
     "recommendation_fingerprint",
     "response_fingerprint",
+    "window_parallelism",
     "wrap_requests",
 ]

@@ -339,6 +339,7 @@ class TruthJournal:
         truths: Sequence[VerifiedTruth],
         store: TruthDatabase,
         meta: Optional[Dict[str, Any]] = None,
+        allow_snapshot: bool = True,
     ) -> None:
         """Durably append one batch's truth delta (then maybe compact).
 
@@ -347,6 +348,16 @@ class TruthJournal:
         crash-consistent progress marker.  ``store`` is the full parent
         truth store: its network keys the columnar encoding and its contents
         feed the compacted snapshot when the cadence triggers.
+
+        ``allow_snapshot=False`` defers a cadence-triggered compaction to a
+        later append.  The pipelined service uses it while journaling a
+        window's batches one by one: mid-window, ``store`` already holds
+        truths of batches *after* this record, so a snapshot taken here
+        would durably leak state ahead of :attr:`batch_count` — recovery
+        would then not land on an exact sequential prefix.  The window's
+        final append re-enables snapshots, when store and journal agree
+        again; the cadence check is monotone, so the compaction still
+        happens, at most one window late.
         """
         self._ensure_open()
         payload = pickle.dumps(
@@ -362,7 +373,10 @@ class TruthJournal:
         self._truth_count += len(truths)
         self._batch_count += 1
         self.records_appended += 1
-        if self._truth_count - self._snapshot_truths >= self.snapshot_every_truths:
+        if (
+            allow_snapshot
+            and self._truth_count - self._snapshot_truths >= self.snapshot_every_truths
+        ):
             self._compact(store)
 
     def snapshot(self, store: TruthDatabase) -> None:

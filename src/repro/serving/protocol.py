@@ -13,7 +13,15 @@ vocabulary regardless of how batches are executed:
 * :class:`Ticket` is the handle ``submit`` returns and ``results`` consumes;
 * :class:`ServingBackend` is the pluggable execution strategy — the service
   owns ordering, envelopes and lifecycle, a backend owns *how* one batch of
-  queries becomes ordered results (and parent planner state).
+  queries becomes ordered results (and parent planner state);
+* :class:`WindowBatch` + :meth:`ServingBackend.execute_window` are the
+  cross-batch pipelining surface: the service hands the backend a rolling
+  window of consecutive pending batches, the backend returns the merged
+  prefix of their executions (merges strictly in submission order, each
+  stamped with its ``truth_span`` for per-batch journaling).  The default
+  implementation is the per-batch barrier; the pooled backend overrides it
+  with the DAG-walking dispatcher in :mod:`repro.serving.service`, whose
+  shard-level dependency analysis lives in :mod:`repro.serving.pipeline`.
 
 The module also hosts the serving layer's two comparison/wire primitives:
 
@@ -175,6 +183,26 @@ class BatchExecution:
     resubmitted: Optional[List[bool]] = None
     #: Workers re-forked by the supervisor while this batch executed.
     respawn_count: int = 0
+    #: ``(before, after)`` parent truth cursors around this batch's merge —
+    #: recorded by :meth:`ServingBackend.execute_window` so the service can
+    #: journal each batch's own truth delta even when several batches merged
+    #: inside one window call.  ``None`` on the plain ``execute_batch`` path,
+    #: where the caller brackets the cursors itself.
+    truth_span: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class WindowBatch:
+    """One submitted batch inside a pipeline window, backend-ready.
+
+    The service hands the backend a *window* — up to
+    ``ServiceConfig.pipeline_window`` consecutive pending batches — as a list
+    of these; the backend executes them with submission-order merge semantics
+    (see :meth:`ServingBackend.execute_window`).
+    """
+
+    queries: List[RouteQuery]
+    share_candidate_generation: bool = True
 
 
 class ServingBackend(abc.ABC):
@@ -206,6 +234,44 @@ class ServingBackend(abc.ABC):
     ) -> BatchExecution:
         """Answer one batch in submission order and update the parent planner."""
 
+    def execute_window(self, batches: Sequence[WindowBatch]) -> List[BatchExecution]:
+        """Execute a window of consecutive batches; return the merged prefix.
+
+        The default implementation is the barrier scheduler: each batch runs
+        through :meth:`execute_batch` in submission order, one at a time —
+        byte-for-byte the behaviour of calling the service without a window.
+        Backends that can overlap batches (the pooled backend's DAG
+        dispatcher) override this, but every override must keep the window
+        contract:
+
+        * batches **merge strictly in submission order** — the parent
+          planner's state after the call is exactly the sequential prefix;
+        * each returned execution carries ``truth_span``, the parent truth
+          cursors bracketing that batch's merge, so the caller can journal
+          per-batch deltas;
+        * on a mid-window failure the successfully merged *prefix* is
+          returned (the failing batch and everything after stay unexecuted —
+          the caller keeps them pending and the failure surfaces
+          deterministically when the failing batch is retried at the head of
+          a later window); only a failure of the **first** batch raises.
+        """
+        executions: List[BatchExecution] = []
+        for batch in batches:
+            before = self.planner.truth_cursor() if self.planner is not None else 0
+            try:
+                execution = self.execute_batch(
+                    batch.queries,
+                    share_candidate_generation=batch.share_candidate_generation,
+                )
+            except Exception:
+                if executions:
+                    break
+                raise
+            after = self.planner.truth_cursor() if self.planner is not None else 0
+            execution.truth_span = (before, after)
+            executions.append(execution)
+        return executions
+
     def worker_pids(self) -> List[int]:
         """PIDs of live pool workers (empty for in-process backends)."""
         return []
@@ -219,6 +285,11 @@ class ServingBackend(abc.ABC):
             "hung_workers_killed": 0,
             "degraded_batches": 0,
         }
+
+    def pipeline_stats(self) -> Dict[str, int]:
+        """Cross-batch pipelining counters (all zero for backends that only
+        run the default barrier :meth:`execute_window`)."""
+        return {"windows": 0, "overlapped_dispatches": 0}
 
     def close(self) -> None:
         """Release any long-lived resources (idempotent)."""

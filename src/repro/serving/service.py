@@ -18,7 +18,13 @@ that answers a *stream* of query batches instead of one-shot calls.
   forked once, keep warm :class:`~repro.core.truth.TruthDatabase` state
   between batches, and receive only the truth deltas the parent merged
   since their last shard, amortising the per-batch fork + clone cost of the
-  old engine.
+  old engine;
+* with ``config.pipeline_window > 1`` consecutive pending batches execute
+  as one *window*: the pooled backend's DAG dispatcher
+  (:meth:`PooledBackend.execute_window`, dependencies from
+  :mod:`repro.serving.pipeline`) overlaps shards across batch boundaries
+  wherever their interaction closures are disjoint, while merges — and so
+  all observable state — stay strictly in submission order.
 
 Service contract
 ----------------
@@ -51,6 +57,7 @@ from ..core.planner import CrowdPlanner, ShardPlan
 from ..exceptions import ServingError
 from ..routing.base import RouteQuery
 from .journal import TruthJournal
+from .pipeline import batch_dependencies
 from .protocol import (
     BatchExecution,
     BatchTimings,
@@ -59,6 +66,7 @@ from .protocol import (
     ResultProvenance,
     ServingBackend,
     Ticket,
+    WindowBatch,
     encode_truth_delta,
     wrap_requests,
 )
@@ -317,6 +325,11 @@ class PooledBackend(ServingBackend):
         self.resubmitted_shards_total = 0
         self.hung_workers_killed = 0
         self.degraded_batches = 0
+        # Pipelining counters (surfaced by ``pipeline_stats``): windows run
+        # through the DAG dispatcher, and dispatches that actually overlapped
+        # batch boundaries (a shard sent while an earlier batch was unmerged).
+        self.windows_executed = 0
+        self.overlapped_dispatches = 0
         # Seeded so backoff jitter is reproducible run to run.
         self._backoff_rng = random.Random(0x5EED)
         self._workers: List[_PoolWorker] = []
@@ -346,6 +359,12 @@ class PooledBackend(ServingBackend):
             "resubmitted_shards": self.resubmitted_shards_total,
             "hung_workers_killed": self.hung_workers_killed,
             "degraded_batches": self.degraded_batches,
+        }
+
+    def pipeline_stats(self) -> Dict[str, int]:
+        return {
+            "windows": self.windows_executed,
+            "overlapped_dispatches": self.overlapped_dispatches,
         }
 
     def close(self) -> None:
@@ -433,6 +452,291 @@ class PooledBackend(ServingBackend):
             ),
             respawn_count=respawns,
         )
+
+    def execute_window(self, batches: Sequence[WindowBatch]) -> List[BatchExecution]:
+        """Overlap a window of consecutive batches on the pool (DAG dispatch).
+
+        Each batch is shard-planned as usual, then
+        :func:`~repro.serving.pipeline.batch_dependencies` reduces the
+        cross-batch interaction-closure tests to one dependency per shard: a
+        shard may dispatch as soon as every batch up to and including its
+        dependency has merged — it need not wait for the whole previous
+        batch.  Merges still happen strictly in submission order (the window
+        contract), so parent truth-id issuance — and with it every
+        fingerprint — is identical to the barrier scheduler and to the
+        sequential oracle.
+
+        Degenerate windows fall back to the barrier scheduler byte for byte:
+        a single-batch window, a non-persistent pool (the per-batch baseline
+        has nothing to keep warm across batches), and platforms without
+        ``fork`` all delegate to the default :meth:`ServingBackend.execute_window`.
+
+        Supervision carries over from the barrier path with two per-window
+        readings: ``max_respawns_per_batch`` acts as a per-*window* respawn
+        budget, and ``warm_pool``/``respawn_count`` provenance fields are
+        window-level (all batches of a window report the same warm flag and
+        the respawns seen up to their own merge).
+        """
+        planner = self.planner
+        if planner is None:
+            raise ServingError("backend is not bound to a planner")
+        window = [
+            WindowBatch(list(batch.queries), batch.share_candidate_generation)
+            for batch in batches
+        ]
+        if len(window) <= 1 or not self.persistent or not self._can_fork():
+            return super().execute_window(window)
+
+        plans: List[ShardPlan] = []
+        plan_times: List[float] = []
+        for batch in window:
+            started = time.perf_counter()
+            plans.append(planner.shard_plan(batch.queries, self.resolved_pool_size()))
+            plan_times.append(time.perf_counter() - started)
+        deps = batch_dependencies(plans)
+        planner.warm_batch([query for batch in window for query in batch.queries])
+        jobs_per_batch: List[List[ShardJob]] = [
+            [
+                ShardJob(
+                    shard_id=shard.shard_id,
+                    indices=shard.indices,
+                    destination_cells=shard.destination_cells,
+                    queries=[batch.queries[index] for index in shard.indices],
+                    share_candidate_generation=batch.share_candidate_generation,
+                )
+                for shard in plan.shards
+            ]
+            for batch, plan in zip(window, plans)
+        ]
+
+        warm = not self._ensure_pool()
+        if warm:
+            self._respawn_dead()
+        batches_before = self.batches_executed
+        executions = self._run_window(window, plan_times, jobs_per_batch, deps, warm)
+        self.windows_executed += 1
+        # Sync cadence at the window edge (never mid-window: a blocking
+        # "synced" round-trip while shards are in flight would swallow their
+        # "done" replies).  Crossing any multiple of the cadence inside the
+        # window triggers one sync here.
+        if self._workers and (
+            self.batches_executed // self.merge_every_batches
+            > batches_before // self.merge_every_batches
+        ):
+            self._push_sync()
+        return executions
+
+    def _run_window(
+        self,
+        window: List[WindowBatch],
+        plan_times: List[float],
+        jobs_per_batch: List[List[ShardJob]],
+        deps: List[List[int]],
+        warm: bool,
+    ) -> List[BatchExecution]:
+        """DAG dispatch + supervision for one window (see ``execute_window``).
+
+        The scheduler keeps two shard pools: ``ready`` (dependency already
+        merged — dispatchable now, in (batch, shard) order so the merge
+        frontier is favoured) and ``blocked[d]`` (waiting for batch ``d`` to
+        merge).  Whenever the frontier batch has all its outcomes, it merges
+        into the parent — strictly in submission order — and releases the
+        shards that were blocked on it.
+
+        Fault handling mirrors :meth:`_run_on_pool`: a crashed, desynced or
+        hung in-flight worker gets its shard requeued at the *front* of the
+        ready queue (its dependency is already satisfied, and the frontier
+        may be waiting on it) and a replacement forked budget permitting;
+        with the whole pool gone and the breaker open, the remaining shards
+        degrade to in-process execution in strict batch order with frontier
+        merges between batches — the parent then holds exactly the
+        sequential prefix each shard would have seen, so results are
+        unchanged.  A shard *execution* error stops dispatching, drains
+        in-flight workers (their frontier batches may still merge), and the
+        merged prefix is returned; the failing batch never merges, so it
+        stays pending at the service and the error re-raises
+        deterministically when it heads a later window.
+        """
+        planner = self.planner
+        num_batches = len(window)
+        total = [len(jobs) for jobs in jobs_per_batch]
+        done: List[List[ShardOutcome]] = [[] for _ in range(num_batches)]
+        resubmitted_ids: List[Set[int]] = [set() for _ in range(num_batches)]
+        first_dispatch: List[Optional[float]] = [None] * num_batches
+        last_done: List[Optional[float]] = [None] * num_batches
+        executions: List[BatchExecution] = []
+        merged = 0
+        respawns = 0
+        degraded = False
+        error: Optional[str] = None
+
+        # Entries are (batch_index, job, resubmitted).
+        ready: "deque[Tuple[int, ShardJob, bool]]" = deque()
+        blocked: Dict[int, List[Tuple[int, ShardJob, bool]]] = {}
+        for batch_index in range(num_batches):
+            for job, dep in zip(jobs_per_batch[batch_index], deps[batch_index]):
+                if dep < 0:
+                    ready.append((batch_index, job, False))
+                else:
+                    blocked.setdefault(dep, []).append((batch_index, job, False))
+
+        def record(batch_index: int, outcomes, was_resubmitted: bool, shard_id: int) -> None:
+            done[batch_index].extend(outcomes)
+            last_done[batch_index] = time.perf_counter()
+            if was_resubmitted:
+                resubmitted_ids[batch_index].add(shard_id)
+
+        def merge_frontier() -> None:
+            """Merge every fully-executed batch at the head of the window."""
+            nonlocal merged
+            while merged < num_batches and len(done[merged]) == total[merged]:
+                batch_index = merged
+                batch = window[batch_index]
+                before = planner.truth_cursor()
+                started = time.perf_counter()
+                results = merge_shard_outcomes(
+                    planner, len(batch.queries), done[batch_index]
+                )
+                merge_s = time.perf_counter() - started
+                after = planner.truth_cursor()
+                self.batches_executed += 1
+                origins: List[Tuple[Optional[int], Optional[int]]] = [
+                    (None, None)
+                ] * len(batch.queries)
+                for outcome in done[batch_index]:
+                    for index in outcome.indices:
+                        origins[index] = (outcome.shard_id, outcome.worker_pid)
+                resub = resubmitted_ids[batch_index]
+                start_t = first_dispatch[batch_index]
+                end_t = last_done[batch_index]
+                executions.append(
+                    BatchExecution(
+                        results=results,
+                        origins=origins,
+                        plan_s=plan_times[batch_index],
+                        execute_s=(
+                            (end_t - start_t)
+                            if start_t is not None and end_t is not None
+                            else 0.0
+                        ),
+                        merge_s=merge_s,
+                        warm_pool=warm,
+                        resubmitted=(
+                            [origin[0] in resub for origin in origins] if resub else None
+                        ),
+                        respawn_count=respawns,
+                        truth_span=(before, after),
+                    )
+                )
+                merged += 1
+                # "Every batch <= batch_index merged" is now satisfied.
+                for entry in blocked.pop(batch_index, ()):
+                    ready.append(entry)
+
+        def lost(entry: Tuple[int, ShardJob, bool]) -> None:
+            """Requeue a dead worker's shard and try to restore capacity."""
+            nonlocal respawns
+            # Front of the queue: the frontier may be waiting on this shard,
+            # and its dependency is already satisfied.
+            ready.appendleft((entry[0], entry[1], True))
+            self.resubmitted_shards_total += 1
+            if self._mid_batch_respawn(respawns) is not None:
+                respawns += 1
+
+        merge_frontier()  # zero-shard batches at the head merge immediately
+
+        inflight: Dict[_PoolWorker, Tuple[int, ShardJob, bool]] = {}
+        while ((ready or blocked) and error is None) or inflight:
+            if error is None:
+                for worker in self._alive_workers():
+                    if not ready:
+                        break
+                    if worker in inflight:
+                        continue
+                    entry = ready.popleft()
+                    if self._dispatch(worker, [entry[1]]):
+                        worker.touch()
+                        if first_dispatch[entry[0]] is None:
+                            first_dispatch[entry[0]] = time.perf_counter()
+                        if entry[0] > merged:
+                            # Dispatched while an earlier batch is unmerged:
+                            # genuine cross-batch overlap.
+                            self.overlapped_dispatches += 1
+                        inflight[worker] = entry
+                    else:
+                        ready.appendleft(entry)
+                if (ready or blocked) and not inflight and not self._alive_workers():
+                    replacement = self._mid_batch_respawn(respawns)
+                    if replacement is not None:
+                        respawns += 1
+                        continue
+                    # Whole pool gone, breaker open: degrade in strict batch
+                    # order with frontier merges between batches, so each
+                    # in-process shard executes against exactly the
+                    # sequential prefix.
+                    degraded = True
+                    remaining: Dict[int, List[Tuple[int, ShardJob, bool]]] = {}
+                    for entry in ready:
+                        remaining.setdefault(entry[0], []).append(entry)
+                    for entries in blocked.values():
+                        for entry in entries:
+                            remaining.setdefault(entry[0], []).append(entry)
+                    ready.clear()
+                    blocked.clear()
+                    for batch_index in sorted(remaining):
+                        for entry in sorted(
+                            remaining[batch_index], key=lambda item: item[1].shard_id
+                        ):
+                            if first_dispatch[batch_index] is None:
+                                first_dispatch[batch_index] = time.perf_counter()
+                            record(
+                                batch_index,
+                                [execute_shard_job(planner, entry[1])],
+                                entry[2],
+                                entry[1].shard_id,
+                            )
+                        merge_frontier()
+                    break
+            if not inflight:
+                continue
+            wait_ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
+            now = time.monotonic()
+            for worker in list(inflight):
+                if worker.conn in wait_ready:
+                    try:
+                        reply = worker.conn.recv()
+                    except (EOFError, OSError):
+                        reply = None
+                    if reply is not None and reply[0] == "beat":
+                        worker.touch()
+                        continue
+                    entry = inflight.pop(worker)
+                    if reply is None:
+                        worker.mark_dead()
+                        lost(entry)
+                    elif reply[0] == "done":
+                        worker.touch()
+                        record(entry[0], reply[2], entry[2], entry[1].shard_id)
+                        merge_frontier()
+                    elif reply[0] == "desync":
+                        worker.mark_dead()
+                        lost(entry)
+                    elif reply[0] == "error":
+                        error = error or str(reply[2])
+                    else:  # pragma: no cover - protocol guard
+                        error = error or f"unexpected pool reply {reply[0]!r}"
+                elif not worker.process.is_alive():
+                    worker.mark_dead()
+                    lost(inflight.pop(worker))
+                elif now - worker.last_heard > self.rpc_deadline_s:
+                    self._kill_worker(worker)
+                    self.hung_workers_killed += 1
+                    lost(inflight.pop(worker))
+        if degraded:
+            self.degraded_batches += 1
+        if error is not None and not executions:
+            raise ServingError(f"shard execution failed in a pool worker:\n{error}")
+        return executions
 
     # ------------------------------------------------------------- pool mgmt
     def _spawn_worker(self, context, cursor: int) -> _PoolWorker:
@@ -991,19 +1295,34 @@ class RecommendationService:
         Batches are submitted and redeemed lazily as the iterator is
         consumed, so an unbounded query source streams with bounded memory;
         responses arrive in submission order.
+
+        With ``config.pipeline_window > 1`` the stream keeps up to a
+        window's worth of submitted-but-unredeemed batches outstanding
+        (bounded by ``max_pending_batches``), so redemptions hand the
+        backend full windows to overlap; at the default window of 1 each
+        batch is redeemed as soon as it is submitted, exactly as before.
         """
         size = batch_size if batch_size is not None else self.config.stream_batch_size
         if size < 1:
             raise ServingError("batch_size must be at least 1")
+        window = self.config.pipeline_window
+        max_outstanding = (
+            max(0, min(window, self.config.max_pending_batches - 1)) if window > 1 else 0
+        )
+        tickets: "deque[Ticket]" = deque()
         chunk: List[QueryLike] = []
         for query in queries:
             chunk.append(query)
             if len(chunk) >= size:
-                for response in self.results(self.submit(chunk)):
-                    yield response
+                tickets.append(self.submit(chunk))
                 chunk = []
+                while len(tickets) > max_outstanding:
+                    for response in self.results(tickets.popleft()):
+                        yield response
         if chunk:
-            for response in self.results(self.submit(chunk)):
+            tickets.append(self.submit(chunk))
+        while tickets:
+            for response in self.results(tickets.popleft()):
                 yield response
 
     # ------------------------------------------------------------ diagnostics
@@ -1021,12 +1340,14 @@ class RecommendationService:
 
         ``planner`` holds the resolution counters, ``supervision`` the
         backend's fault-handling aggregates plus the number of responses
-        whose shard was resubmitted after a worker loss, and ``journal``
-        (present only when journaling) the durability counters.
+        whose shard was resubmitted after a worker loss, ``pipeline`` the
+        cross-batch overlap counters, and ``journal`` (present only when
+        journaling) the durability counters.
         """
         stats: Dict[str, Any] = {
             "planner": self.planner.statistics.as_dict(),
             "supervision": dict(self.backend.supervision_stats()),
+            "pipeline": dict(self.backend.pipeline_stats()),
         }
         stats["supervision"]["resubmitted_results"] = self._resubmitted_results
         if self._journal is not None:
@@ -1067,10 +1388,50 @@ class RecommendationService:
         # Pop only after a successful execution: a backend failure leaves the
         # batch pending, so the ticket stays redeemable (retryable) instead
         # of silently becoming "unknown".
+        if self.config.pipeline_window > 1 and len(self._pending) > 1:
+            self._execute_pending_window()
+            return
         ticket_id, (requests, share) = next(iter(self._pending.items()))
         responses = self._execute(requests, share)
         del self._pending[ticket_id]
         self._ready[ticket_id] = responses
+
+    def _execute_pending_window(self) -> None:
+        """Execute up to ``pipeline_window`` pending batches as one window.
+
+        The backend returns the successfully merged *prefix* (the window
+        contract): exactly those batches are finalised — journaled, popped
+        from pending, marked ready — in submission order; a failing batch
+        and everything after it stay pending and redeemable, and the failure
+        surfaces deterministically when the failing batch heads a later
+        window (a first-batch failure raises out of the backend directly).
+        """
+        entries = []
+        for item in self._pending.items():
+            entries.append(item)
+            if len(entries) >= self.config.pipeline_window:
+                break
+        window = [
+            WindowBatch(
+                queries=[request.query for request in requests],
+                share_candidate_generation=share,
+            )
+            for _, (requests, share) in entries
+        ]
+        executions = self.backend.execute_window(window)
+        if not executions:  # pragma: no cover - window contract guard
+            raise ServingError("backend returned no executions for a non-empty window")
+        for position, ((ticket_id, (requests, _share)), execution) in enumerate(
+            zip(entries, executions)
+        ):
+            # Snapshots are deferred to the window's last journaled batch:
+            # only then do the planner's truth store and the journal's batch
+            # counter agree again (see TruthJournal.append).
+            responses = self._finalize(
+                requests, execution, allow_snapshot=(position == len(executions) - 1)
+            )
+            del self._pending[ticket_id]
+            self._ready[ticket_id] = responses
 
     def _execute(
         self,
@@ -1079,20 +1440,35 @@ class RecommendationService:
         plan: Optional[ShardPlan] = None,
     ) -> List[RecommendResponse]:
         queries = [request.query for request in requests]
-        batch_id = self._next_batch_id
-        self._next_batch_id += 1
         truth_cursor = self.planner.truth_cursor()
         execution = self.backend.execute_batch(
             queries, share_candidate_generation=share_candidate_generation, plan=plan
         )
+        if execution.truth_span is None:
+            execution.truth_span = (truth_cursor, self.planner.truth_cursor())
+        return self._finalize(requests, execution)
+
+    def _finalize(
+        self,
+        requests: List[RecommendRequest],
+        execution: BatchExecution,
+        allow_snapshot: bool = True,
+    ) -> List[RecommendResponse]:
+        """Assign the batch id, journal the batch's truth span, build envelopes."""
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
         if self._journal is not None:
             # One record per executed batch — even with an empty delta — so
             # the journal's record count is an exact durable progress marker
-            # for crash recovery (which batches need re-executing).
+            # for crash recovery (which batches need re-executing).  Under
+            # pipelining several batches merge inside one window call, so the
+            # delta is bounded to this batch's own truth span.
+            before, after = execution.truth_span or (0, self.planner.truth_cursor())
             self._journal.append(
-                self.planner.truth_delta(truth_cursor),
+                self.planner.truth_delta(before, upto=after),
                 self.planner.truths,
                 meta={"batch_id": batch_id, "size": len(requests)},
+                allow_snapshot=allow_snapshot,
             )
         timings = BatchTimings(
             plan_s=execution.plan_s, execute_s=execution.execute_s, merge_s=execution.merge_s

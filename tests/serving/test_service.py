@@ -363,7 +363,8 @@ class TestLifecycle:
 @pytest.mark.slow
 class TestInterleavingProperty:
     """Hypothesis: *any* chunking of the stream into tickets, redeemed in any
-    order, over any pool size, reproduces the sequential oracle exactly."""
+    order, over any pool size and pipeline window, reproduces the sequential
+    oracle exactly."""
 
     def test_random_interleavings(
         self, build_serving_planner, serving_workload, dominant_workload, sequential_oracle
@@ -376,9 +377,10 @@ class TestInterleavingProperty:
         @given(
             workload_name=st.sampled_from(["plain", "dominant"]),
             pool_size=st.integers(min_value=1, max_value=4),
+            pipeline_window=st.integers(min_value=1, max_value=4),
             chunk_seed=st.integers(min_value=0, max_value=2**16),
         )
-        def check(workload_name, pool_size, chunk_seed):
+        def check(workload_name, pool_size, pipeline_window, chunk_seed):
             import random
 
             workload = workloads[workload_name]
@@ -393,7 +395,10 @@ class TestInterleavingProperty:
             # use_processes=False keeps the property sweep affordable; the
             # forked path is covered by the parametrised contract tests.
             backend = PooledBackend(pool_size=pool_size, use_processes=False)
-            with RecommendationService(planner, backend=backend) as service:
+            config = ServiceConfig.from_planner_config(
+                planner.config, pipeline_window=pipeline_window
+            )
+            with RecommendationService(planner, config=config, backend=backend) as service:
                 tickets = [service.submit(chunk) for chunk in chunks]
                 order = list(range(len(tickets)))
                 rng.shuffle(order)
