@@ -2,8 +2,9 @@
 index queries, sparse vs. dense PMF training, the crowd-evaluation pipeline
 (compiled popularity routing, vectorized familiarity kernels, batched crowd
 simulation) vs. its preserved sequential oracles, the sharded serving
-engine vs. sequential ``recommend_batch``, and the cross-batch pipelined
-scheduler vs. the per-batch barrier.
+engine vs. sequential ``recommend_batch``, the cross-batch pipelined
+scheduler vs. the per-batch barrier, and the intra-component sub-shard
+chain vs. the monolithic hotspot plan.
 
 These benchmarks seed the repo's performance trajectory: run them through
 ``scripts/bench_to_json.py`` to (re)generate ``BENCH_hot_paths.json`` at the
@@ -614,6 +615,103 @@ def test_crowd_pipeline_reference(benchmark, pipeline_setup):
     build_planner, batches, oracle = pipeline_setup
     results = benchmark.pedantic(
         _run_stream_windowed, args=(build_planner, batches, 1), rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+    assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+# ------------------------------------------------------------- crowd hotspot
+HOTSPOT_FRACTION = 0.1
+
+
+def _run_hotspot(build_planner, workload, max_shard_fraction):
+    """One batch through the pooled service, optionally hotspot-split."""
+    planner = build_planner()
+    config = ServiceConfig.from_planner_config(
+        planner.config,
+        backend="pooled",
+        pool_size=2,
+        max_shard_fraction=max_shard_fraction,
+    )
+    with RecommendationService(planner, config) as service:
+        responses = service.results(service.submit(workload))
+        stats = service.statistics()["sharding"]
+    return [response.result for response in responses], stats
+
+
+@pytest.fixture(scope="module")
+def hotspot_setup(serving_city):
+    """A city-center hotspot batch (30% of queries share one destination)
+    plus the sequential oracle and the skew profile of the split plan.
+
+    Before any timing, the sub-shard chain is asserted fingerprint-identical
+    to the sequential oracle at fractions {0.25, 0.1} — the tighter one
+    forcing a genuine multi-hop hand-off chain — so a timing result can
+    never hide a visibility or ordering divergence in the pipeline.
+    """
+    scenario, build_planner = serving_city
+    workload = generate_large_batch_workload(
+        scenario.network,
+        LargeBatchWorkloadConfig(
+            num_queries=160, num_clusters=5, dominant_destination_fraction=0.3, seed=77
+        ),
+    )
+    oracle = [
+        recommendation_fingerprint(result)
+        for result in build_planner().recommend_batch(workload)
+    ]
+    stats = None
+    for fraction in (0.25, HOTSPOT_FRACTION):
+        results, stats = _run_hotspot(build_planner, workload, fraction)
+        fingerprints = [recommendation_fingerprint(r) for r in results]
+        assert fingerprints == oracle, (
+            f"hotspot chain diverged from the sequential oracle at fraction={fraction}"
+        )
+    assert stats is not None and stats["chain_depth"] >= 2, (
+        "hotspot workload failed to produce a sub-shard chain — the suite "
+        "would be timing plain sharding"
+    )
+    return build_planner, workload, oracle, stats
+
+
+@pytest.mark.benchmark(group="crowd_hotspot")
+def test_crowd_hotspot_compiled(benchmark, hotspot_setup):
+    """The dominant component staged as a sub-shard hand-off chain.
+
+    Ratios are core-count dependent like the other serving suites: on a
+    single core the extra plan staging and delta hand-offs are pure
+    overhead, so the committed ratio — not 1.0 — is the trajectory gate; on
+    multi-core hardware the chained slices free the second worker to run
+    the small shards concurrently instead of idling behind the hotspot.
+    The skew profile (largest shard fraction before/after, chain depth)
+    rides along in ``extra_info`` for the CI delta table."""
+    build_planner, workload, oracle, stats = hotspot_setup
+    results, _ = benchmark.pedantic(
+        _run_hotspot,
+        args=(build_planner, workload, HOTSPOT_FRACTION),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["largest_shard_fraction_before"] = round(
+        stats["largest_shard_fraction_before"], 4
+    )
+    benchmark.extra_info["largest_shard_fraction_after"] = round(
+        stats["largest_shard_fraction_after"], 4
+    )
+    benchmark.extra_info["chain_depth"] = stats["chain_depth"]
+    assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+@pytest.mark.benchmark(group="crowd_hotspot")
+def test_crowd_hotspot_reference(benchmark, hotspot_setup):
+    """The monolithic plan (no splitting) on the identical service shape."""
+    build_planner, workload, oracle, _ = hotspot_setup
+    results, _ = benchmark.pedantic(
+        _run_hotspot,
+        args=(build_planner, workload, None),
+        rounds=3,
+        iterations=1,
         warmup_rounds=0,
     )
     assert [recommendation_fingerprint(r) for r in results] == oracle

@@ -59,19 +59,34 @@ def _wire_bytes_text(summary: dict, group: str) -> str:
     return f"{compiled / 1024:.1f} KiB ({shrink:.1f}x smaller)"
 
 
+def _skew_text(summary: dict, group: str) -> str:
+    """Render a suite's shard-skew record (``—`` when it has none)."""
+    record = summary.get("skew", {}).get(group)
+    if not record:
+        return "—"
+    before = record.get("largest_shard_fraction_before")
+    after = record.get("largest_shard_fraction_after")
+    depth = record.get("chain_depth")
+    if before is None or after is None or depth is None:
+        return "—"
+    return f"{before:.2f}→{after:.2f} (depth {depth})"
+
+
 def render_summary_markdown(committed: dict, candidate: dict, threshold: float, failures: list) -> str:
     """Markdown delta table of committed vs measured speedups per suite.
 
     Suites that record payload sizes (the truth wire codec) get a
-    wire-bytes column, so payload regressions surface on the job summary
-    alongside timing drift.
+    wire-bytes column, and suites that record a shard-skew profile (the
+    hotspot chain) a largest-shard-fraction before→after column with the
+    sub-shard chain depth, so payload and skew regressions surface on the
+    job summary alongside timing drift.
     """
     failed_groups = {group for group, *_ in failures}
     lines = [
         "### Hot-path speedup trajectory (fast path vs preserved oracle)",
         "",
-        "| suite | committed | measured | delta | wire bytes | status |",
-        "|---|---:|---:|---:|---:|:---|",
+        "| suite | committed | measured | delta | wire bytes | largest shard | status |",
+        "|---|---:|---:|---:|---:|---:|:---|",
     ]
     groups = sorted(set(committed.get("speedups", {})) | set(candidate.get("speedups", {})))
     for group in groups:
@@ -94,10 +109,15 @@ def render_summary_markdown(committed: dict, candidate: dict, threshold: float, 
             recorded_wire = _wire_bytes_text(committed, group)
             if recorded_wire != "—":
                 wire_text = f"{recorded_wire} (committed)"
+        skew_text = _skew_text(candidate, group)
+        if skew_text == "—":
+            recorded_skew = _skew_text(committed, group)
+            if recorded_skew != "—":
+                skew_text = f"{recorded_skew} (committed)"
         status = "❌ regressed" if group in failed_groups else "✅"
         lines.append(
             f"| {group} | {recorded_text} | {measured_text} | {delta_text} "
-            f"| {wire_text} | {status} |"
+            f"| {wire_text} | {skew_text} | {status} |"
         )
     lines.append("")
     if failures:

@@ -31,6 +31,15 @@ BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_hot_paths.py"
 #: is the group's recorded speedup.
 _PAIRED_SUFFIXES = (("_compiled", "_reference"), ("_sparse", "_dense"))
 
+#: extra-info keys the hotspot suite reports (``benchmark.extra_info``):
+#: the skew of the shard plan before/after splitting plus the sub-shard
+#: chain depth — carried into the trajectory so CI can show the delta.
+_SKEW_KEYS = (
+    "largest_shard_fraction_before",
+    "largest_shard_fraction_after",
+    "chain_depth",
+)
+
 
 def run_benchmarks(pytest_args: str) -> dict:
     """Run the hot-path benchmark file, returning pytest-benchmark's JSON."""
@@ -57,6 +66,7 @@ def summarise(raw: dict) -> dict:
     benchmarks = {}
     groups: dict = {}
     group_wire_bytes: dict = {}
+    skew: dict = {}
     for entry in raw.get("benchmarks", []):
         stats = entry["stats"]
         name = entry["name"]
@@ -66,10 +76,15 @@ def summarise(raw: dict) -> dict:
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
-        wire = entry.get("extra_info", {}).get("wire_bytes")
+        extra = entry.get("extra_info", {})
+        wire = extra.get("wire_bytes")
         if wire is not None:
             benchmarks[name]["wire_bytes"] = int(wire)
             group_wire_bytes.setdefault(entry.get("group"), {})[name] = int(wire)
+        if all(key in extra for key in _SKEW_KEYS):
+            profile = {key: extra[key] for key in _SKEW_KEYS}
+            benchmarks[name].update(profile)
+            skew[entry.get("group")] = profile
         groups.setdefault(entry.get("group"), {})[name] = stats["mean"]
 
     speedups = {}
@@ -103,6 +118,7 @@ def summarise(raw: dict) -> dict:
         "benchmarks": benchmarks,
         "speedups": speedups,
         "wire_bytes": wire_bytes,
+        "skew": skew,
     }
 
 

@@ -46,8 +46,7 @@ fi
 if command -v ruff >/dev/null 2>&1; then
     echo "== lint (ruff) =="
     ruff check src
-    # Advisory until the tree is formatter-clean end to end.
-    ruff format --check src || echo "WARNING: ruff format differences (advisory)"
+    ruff format --check src
 fi
 
 echo "== docs lint =="

@@ -73,7 +73,7 @@ from .core.planner import CrowdPlanner, RecommendationResult, ShardPlan
 from .routing.base import CandidateRoute, RouteQuery
 from .serving import ShardedRecommendationEngine
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "DEFAULT_CONFIG",

@@ -165,6 +165,15 @@ class ServiceConfig(PlannerConfig):
     pool_size:
         Worker-process count of the pooled backend; ``None`` means one per
         available CPU.
+    max_shard_fraction:
+        Hotspot-splitting knob of the pooled backend: any interaction
+        component holding more than this fraction of a batch is staged as an
+        ordered dataflow of sub-shards connected by truth-delta hand-offs
+        (see :func:`repro.serving.shards.split_oversized`), so a dominant
+        city-center destination stops serialising the whole pool.  ``None``
+        (the default) keeps components whole.  Merges, truth-id issuance and
+        journaling stay in strict submission order, so results are identical
+        for every value — only parallelism depends on it.
     use_processes:
         When ``False`` (or on platforms without ``fork``), the pooled
         backend executes shards inline through the same clone-and-merge
@@ -255,6 +264,7 @@ class ServiceConfig(PlannerConfig):
 
     backend: str = "pooled"
     pool_size: Optional[int] = None
+    max_shard_fraction: Optional[float] = None
     use_processes: bool = True
     max_pending_batches: int = 16
     merge_every_batches: int = 1
@@ -297,6 +307,10 @@ class ServiceConfig(PlannerConfig):
             )
         if self.pool_size is not None and self.pool_size < 1:
             raise ConfigurationError("pool_size must be at least 1 (or None for one per CPU)")
+        if self.max_shard_fraction is not None and not (0 < self.max_shard_fraction <= 1):
+            raise ConfigurationError(
+                "max_shard_fraction must be in (0, 1] (or None to keep components whole)"
+            )
         if self.max_pending_batches < 1:
             raise ConfigurationError("max_pending_batches must be at least 1")
         if self.merge_every_batches < 1:

@@ -119,12 +119,22 @@ class QueryShard:
     ascending (submission) order; ``destination_cells`` is the reach-expanded
     set of destination grid cells whose truth partition the shard must be
     shipped (see :meth:`TruthDatabase.partition_by_cells`).
+
+    Sub-shards produced by :func:`repro.serving.shards.split_oversized`
+    additionally carry chain edges: ``predecessors`` are the shard ids whose
+    completion makes this sub-shard dispatchable, and ``handoff_from`` the
+    shard ids whose recorded truths must be adopted before it runs (a
+    superset of ``predecessors`` — the whole upstream slice of its dataflow).
+    Both are empty for ordinary component shards, which remain mutually
+    interaction-free.
     """
 
     shard_id: int
     indices: Tuple[int, ...]
     destination_cells: FrozenSet[Tuple[int, int]]
     components: int
+    predecessors: Tuple[int, ...] = ()
+    handoff_from: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.indices)
@@ -159,6 +169,26 @@ class ShardPlan:
         if not self.shards or self.num_queries == 0:
             return 0.0
         return max(len(shard) for shard in self.shards) / self.num_queries
+
+    def chain_depth(self) -> int:
+        """Length of the longest sub-shard hand-off chain in this plan.
+
+        ``1`` for any non-empty plan without sub-shards (every shard is its
+        own chain of one), ``0`` for an empty plan.  After
+        :func:`repro.serving.shards.split_oversized` this is the critical
+        path of the dataflow DAG — how many sub-shards must run strictly one
+        after another before the split component is fully served.
+        """
+        if not self.shards:
+            return 0
+        depth: Dict[int, int] = {}
+        # Shard ids are a topological order of the chain DAG (predecessors
+        # always carry smaller ids), so one ascending pass suffices.
+        for shard in sorted(self.shards, key=lambda s: s.shard_id):
+            depth[shard.shard_id] = 1 + max(
+                (depth.get(pred, 0) for pred in shard.predecessors), default=0
+            )
+        return max(depth.values())
 
 
 class CrowdPlanner:

@@ -50,6 +50,20 @@ class _TruthIdSequence:
 _truth_ids = _TruthIdSequence()
 
 
+def truth_id_watermark() -> int:
+    """The next truth id this process would issue (exclusive upper bound of
+    every id issued so far).
+
+    The sub-shard hand-off machinery (:func:`repro.serving.shards
+    .handoff_id_base`) uses this to pick provisional truth-id regions that
+    are strictly greater than any id currently visible in this process, so
+    retagged hand-off truths always rank *newer* than base truths inside a
+    worker clone — preserving the lookup tie-break order a sequential run
+    would have seen.
+    """
+    return _truth_ids._next
+
+
 @dataclass(frozen=True)
 class VerifiedTruth:
     """A verified best route between two places for one departure-time slot."""

@@ -43,7 +43,7 @@ import abc
 import pickle
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -289,7 +289,26 @@ class ServingBackend(abc.ABC):
     def pipeline_stats(self) -> Dict[str, int]:
         """Cross-batch pipelining counters (all zero for backends that only
         run the default barrier :meth:`execute_window`)."""
-        return {"windows": 0, "overlapped_dispatches": 0}
+        return {
+            "windows": 0,
+            "overlapped_dispatches": 0,
+            "independent_shards": 0,
+            "cross_batch_edges": 0,
+            "serialized_batches": 0,
+        }
+
+    def sharding_stats(self) -> Dict[str, Any]:
+        """Skew / hotspot-splitting diagnostics (neutral for backends that
+        never shard): the last batch's largest-shard fraction before and
+        after ``split_oversized``, its sub-shard chain depth, and lifetime
+        aggregates."""
+        return {
+            "largest_shard_fraction_before": 0.0,
+            "largest_shard_fraction_after": 0.0,
+            "chain_depth": 0,
+            "max_chain_depth": 0,
+            "sub_shards_total": 0,
+        }
 
     def close(self) -> None:
         """Release any long-lived resources (idempotent)."""

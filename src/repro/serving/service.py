@@ -57,7 +57,7 @@ from ..core.planner import CrowdPlanner, ShardPlan
 from ..exceptions import ServingError
 from ..routing.base import RouteQuery
 from .journal import TruthJournal
-from .pipeline import batch_dependencies
+from .pipeline import batch_dependencies, window_parallelism
 from .protocol import (
     BatchExecution,
     BatchTimings,
@@ -70,7 +70,16 @@ from .protocol import (
     encode_truth_delta,
     wrap_requests,
 )
-from .shards import ShardJob, ShardOutcome, execute_shard_job, merge_shard_outcomes
+from .shards import (
+    ChainState,
+    ShardJob,
+    ShardOutcome,
+    execute_jobs_inline,
+    execute_shard_job,
+    handoff_id_base,
+    merge_shard_outcomes,
+    split_oversized,
+)
 
 QueryLike = Union[RouteQuery, RecommendRequest]
 
@@ -288,10 +297,13 @@ class PooledBackend(ServingBackend):
         max_respawns_per_batch: int = 2,
         respawn_backoff_s: float = 0.05,
         respawn_backoff_max_s: float = 1.0,
+        max_shard_fraction: Optional[float] = None,
     ):
         super().__init__()
         if pool_size is not None and pool_size < 1:
             raise ServingError("pool_size must be at least 1")
+        if max_shard_fraction is not None and not (0 < max_shard_fraction <= 1):
+            raise ServingError("max_shard_fraction must be in (0, 1]")
         if merge_every_batches < 1:
             raise ServingError("merge_every_batches must be at least 1")
         if truth_wire not in TRUTH_WIRE_FORMATS:
@@ -319,6 +331,7 @@ class PooledBackend(ServingBackend):
         self.max_respawns_per_batch = max_respawns_per_batch
         self.respawn_backoff_s = respawn_backoff_s
         self.respawn_backoff_max_s = respawn_backoff_max_s
+        self.max_shard_fraction = max_shard_fraction
         self.batches_executed = 0
         # Lifetime supervision counters (surfaced by ``supervision_stats``).
         self.respawns_total = 0
@@ -330,6 +343,21 @@ class PooledBackend(ServingBackend):
         # batch boundaries (a shard sent while an earlier batch was unmerged).
         self.windows_executed = 0
         self.overlapped_dispatches = 0
+        # Window-parallelism structure counters (also ``pipeline_stats``):
+        # accumulated from :func:`~repro.serving.pipeline.window_parallelism`
+        # over every window this backend has dispatched.
+        self.independent_shards_total = 0
+        self.cross_batch_edges_total = 0
+        self.serialized_batches_total = 0
+        # Skew / hotspot-splitting diagnostics (surfaced by
+        # ``sharding_stats``): the last batch's largest-shard fraction before
+        # and after ``split_oversized``, its hand-off chain depth, and
+        # lifetime aggregates.
+        self.last_shard_fraction_before = 0.0
+        self.last_shard_fraction_after = 0.0
+        self.last_chain_depth = 0
+        self.max_chain_depth = 0
+        self.sub_shards_total = 0
         # Seeded so backoff jitter is reproducible run to run.
         self._backoff_rng = random.Random(0x5EED)
         self._workers: List[_PoolWorker] = []
@@ -365,10 +393,44 @@ class PooledBackend(ServingBackend):
         return {
             "windows": self.windows_executed,
             "overlapped_dispatches": self.overlapped_dispatches,
+            "independent_shards": self.independent_shards_total,
+            "cross_batch_edges": self.cross_batch_edges_total,
+            "serialized_batches": self.serialized_batches_total,
+        }
+
+    def sharding_stats(self) -> Dict[str, Any]:
+        return {
+            "largest_shard_fraction_before": self.last_shard_fraction_before,
+            "largest_shard_fraction_after": self.last_shard_fraction_after,
+            "chain_depth": self.last_chain_depth,
+            "max_chain_depth": self.max_chain_depth,
+            "sub_shards_total": self.sub_shards_total,
         }
 
     def close(self) -> None:
         self._stop_pool()
+
+    # ------------------------------------------------------ hotspot splitting
+    def _split_plan(self, plan: ShardPlan, queries: Sequence[RouteQuery]) -> ShardPlan:
+        """Apply the configured ``max_shard_fraction`` split (idempotent)."""
+        if self.max_shard_fraction is None:
+            return plan
+        return split_oversized(self.planner, plan, queries, self.max_shard_fraction)
+
+    def _note_plan(self, before: ShardPlan, after: ShardPlan) -> None:
+        """Record one batch's skew diagnostics (see ``sharding_stats``)."""
+        self.last_shard_fraction_before = before.largest_shard_fraction()
+        self.last_shard_fraction_after = after.largest_shard_fraction()
+        self.last_chain_depth = after.chain_depth()
+        self.max_chain_depth = max(self.max_chain_depth, self.last_chain_depth)
+        self.sub_shards_total += max(0, len(after.shards) - len(before.shards))
+
+    def _chain_encoder(self):
+        """Hand-off payload codec: columnar on the wire, objects otherwise."""
+        if self.truth_wire != "columnar":
+            return None
+        network = self.planner.network
+        return lambda truths: encode_truth_delta(truths, network)
 
     # ------------------------------------------------------------- execution
     def execute_batch(
@@ -387,6 +449,9 @@ class PooledBackend(ServingBackend):
         started = time.perf_counter()
         if plan is None:
             plan = planner.shard_plan(queries, self.resolved_pool_size())
+        raw_plan = plan
+        plan = self._split_plan(plan, queries)
+        self._note_plan(raw_plan, plan)
         plan_s = time.perf_counter() - started
 
         # Warm shared read-only state before any fork so first-batch workers
@@ -400,6 +465,8 @@ class PooledBackend(ServingBackend):
                 destination_cells=shard.destination_cells,
                 queries=[queries[index] for index in shard.indices],
                 share_candidate_generation=share_candidate_generation,
+                predecessors=shard.predecessors,
+                handoff_from=shard.handoff_from,
             )
             for shard in plan.shards
         ]
@@ -418,12 +485,15 @@ class PooledBackend(ServingBackend):
             if warm:
                 self._respawn_dead()
             try:
-                outcomes, resubmitted, respawns, degraded = self._run_on_pool(jobs)
+                chain = ChainState(jobs, handoff_id_base(), self._chain_encoder())
+                outcomes, resubmitted, respawns, degraded = self._run_on_pool(jobs, chain)
             finally:
                 if not self.persistent:
                     self._stop_pool()
         else:
-            outcomes = [execute_shard_job(planner, job) for job in jobs]
+            outcomes = execute_jobs_inline(
+                planner, jobs, ChainState(jobs, handoff_id_base())
+            )
         execute_s = time.perf_counter() - started
         if degraded:
             self.degraded_batches += 1
@@ -491,9 +561,16 @@ class PooledBackend(ServingBackend):
         plan_times: List[float] = []
         for batch in window:
             started = time.perf_counter()
-            plans.append(planner.shard_plan(batch.queries, self.resolved_pool_size()))
+            raw_plan = planner.shard_plan(batch.queries, self.resolved_pool_size())
+            split_plan = self._split_plan(raw_plan, batch.queries)
+            self._note_plan(raw_plan, split_plan)
+            plans.append(split_plan)
             plan_times.append(time.perf_counter() - started)
         deps = batch_dependencies(plans)
+        parallelism = window_parallelism(deps)
+        self.independent_shards_total += parallelism["independent_shards"]
+        self.cross_batch_edges_total += parallelism["cross_batch_edges"]
+        self.serialized_batches_total += parallelism["serialized_batches"]
         planner.warm_batch([query for batch in window for query in batch.queries])
         jobs_per_batch: List[List[ShardJob]] = [
             [
@@ -503,17 +580,27 @@ class PooledBackend(ServingBackend):
                     destination_cells=shard.destination_cells,
                     queries=[batch.queries[index] for index in shard.indices],
                     share_candidate_generation=batch.share_candidate_generation,
+                    predecessors=shard.predecessors,
+                    handoff_from=shard.handoff_from,
                 )
                 for shard in plan.shards
             ]
             for batch, plan in zip(window, plans)
+        ]
+        # Per-batch hand-off chains: id bases are pre-computed stripes above
+        # the current watermark, so retagged hand-off ids of a later batch
+        # stay above everything merged while earlier batches complete.
+        encoder = self._chain_encoder()
+        chains = [
+            ChainState(jobs, handoff_id_base(batch_offset), encoder)
+            for batch_offset, jobs in enumerate(jobs_per_batch)
         ]
 
         warm = not self._ensure_pool()
         if warm:
             self._respawn_dead()
         batches_before = self.batches_executed
-        executions = self._run_window(window, plan_times, jobs_per_batch, deps, warm)
+        executions = self._run_window(window, plan_times, jobs_per_batch, deps, warm, chains)
         self.windows_executed += 1
         # Sync cadence at the window edge (never mid-window: a blocking
         # "synced" round-trip while shards are in flight would swallow their
@@ -533,6 +620,7 @@ class PooledBackend(ServingBackend):
         jobs_per_batch: List[List[ShardJob]],
         deps: List[List[int]],
         warm: bool,
+        chains: List[ChainState],
     ) -> List[BatchExecution]:
         """DAG dispatch + supervision for one window (see ``execute_window``).
 
@@ -542,6 +630,14 @@ class PooledBackend(ServingBackend):
         merge).  Whenever the frontier batch has all its outcomes, it merges
         into the parent — strictly in submission order — and releases the
         shards that were blocked on it.
+
+        Sub-shard chains add a third pool: ``chain_blocked[b]`` holds batch
+        ``b``'s sub-shards whose cross-batch dependency is satisfied but
+        whose intra-batch hand-off truths have not all arrived.  Each
+        recorded outcome feeds its batch's :class:`ChainState` and releases
+        the sub-shards it just made ready; dispatch attaches the (memoised)
+        hand-off payload, so a resubmitted sub-shard adopts exactly the same
+        truths as the first attempt.
 
         Fault handling mirrors :meth:`_run_on_pool`: a crashed, desynced or
         hung in-flight worker gets its shard requeued at the *front* of the
@@ -573,10 +669,33 @@ class PooledBackend(ServingBackend):
         # Entries are (batch_index, job, resubmitted).
         ready: "deque[Tuple[int, ShardJob, bool]]" = deque()
         blocked: Dict[int, List[Tuple[int, ShardJob, bool]]] = {}
+        chain_blocked: Dict[int, List[Tuple[int, ShardJob, bool]]] = {}
+
+        def release(entry: Tuple[int, ShardJob, bool]) -> None:
+            """Queue an entry whose cross-batch dependency is satisfied."""
+            if entry[1].predecessors and not chains[entry[0]].ready(entry[1]):
+                chain_blocked.setdefault(entry[0], []).append(entry)
+            else:
+                ready.append(entry)
+
+        def release_chain_ready(batch_index: int) -> None:
+            """Move newly hand-off-ready sub-shards of one batch to ready."""
+            waiting = chain_blocked.pop(batch_index, None)
+            if not waiting:
+                return
+            still: List[Tuple[int, ShardJob, bool]] = []
+            for entry in waiting:
+                if chains[batch_index].ready(entry[1]):
+                    ready.append(entry)
+                else:
+                    still.append(entry)
+            if still:
+                chain_blocked[batch_index] = still
+
         for batch_index in range(num_batches):
             for job, dep in zip(jobs_per_batch[batch_index], deps[batch_index]):
                 if dep < 0:
-                    ready.append((batch_index, job, False))
+                    release((batch_index, job, False))
                 else:
                     blocked.setdefault(dep, []).append((batch_index, job, False))
 
@@ -585,6 +704,9 @@ class PooledBackend(ServingBackend):
             last_done[batch_index] = time.perf_counter()
             if was_resubmitted:
                 resubmitted_ids[batch_index].add(shard_id)
+            for outcome in outcomes:
+                chains[batch_index].record(outcome)
+            release_chain_ready(batch_index)
 
         def merge_frontier() -> None:
             """Merge every fully-executed batch at the head of the window."""
@@ -629,9 +751,10 @@ class PooledBackend(ServingBackend):
                     )
                 )
                 merged += 1
-                # "Every batch <= batch_index merged" is now satisfied.
+                # "Every batch <= batch_index merged" is now satisfied; the
+                # released entries may still wait on their hand-off chain.
                 for entry in blocked.pop(batch_index, ()):
-                    ready.append(entry)
+                    release(entry)
 
         def lost(entry: Tuple[int, ShardJob, bool]) -> None:
             """Requeue a dead worker's shard and try to restore capacity."""
@@ -646,7 +769,7 @@ class PooledBackend(ServingBackend):
         merge_frontier()  # zero-shard batches at the head merge immediately
 
         inflight: Dict[_PoolWorker, Tuple[int, ShardJob, bool]] = {}
-        while ((ready or blocked) and error is None) or inflight:
+        while ((ready or blocked or chain_blocked) and error is None) or inflight:
             if error is None:
                 for worker in self._alive_workers():
                     if not ready:
@@ -654,6 +777,7 @@ class PooledBackend(ServingBackend):
                     if worker in inflight:
                         continue
                     entry = ready.popleft()
+                    entry[1].adopt = chains[entry[0]].payload(entry[1])
                     if self._dispatch(worker, [entry[1]]):
                         worker.touch()
                         if first_dispatch[entry[0]] is None:
@@ -665,7 +789,11 @@ class PooledBackend(ServingBackend):
                         inflight[worker] = entry
                     else:
                         ready.appendleft(entry)
-                if (ready or blocked) and not inflight and not self._alive_workers():
+                if (
+                    (ready or blocked or chain_blocked)
+                    and not inflight
+                    and not self._alive_workers()
+                ):
                     replacement = self._mid_batch_respawn(respawns)
                     if replacement is not None:
                         respawns += 1
@@ -673,7 +801,9 @@ class PooledBackend(ServingBackend):
                     # Whole pool gone, breaker open: degrade in strict batch
                     # order with frontier merges between batches, so each
                     # in-process shard executes against exactly the
-                    # sequential prefix.
+                    # sequential prefix.  Within a batch, shard-id order is a
+                    # topological order of its hand-off chain, so every
+                    # sub-shard's payload is available when it executes.
                     degraded = True
                     remaining: Dict[int, List[Tuple[int, ShardJob, bool]]] = {}
                     for entry in ready:
@@ -681,14 +811,19 @@ class PooledBackend(ServingBackend):
                     for entries in blocked.values():
                         for entry in entries:
                             remaining.setdefault(entry[0], []).append(entry)
+                    for entries in chain_blocked.values():
+                        for entry in entries:
+                            remaining.setdefault(entry[0], []).append(entry)
                     ready.clear()
                     blocked.clear()
+                    chain_blocked.clear()
                     for batch_index in sorted(remaining):
                         for entry in sorted(
                             remaining[batch_index], key=lambda item: item[1].shard_id
                         ):
                             if first_dispatch[batch_index] is None:
                                 first_dispatch[batch_index] = time.perf_counter()
+                            entry[1].adopt = chains[batch_index].payload(entry[1])
                             record(
                                 batch_index,
                                 [execute_shard_job(planner, entry[1])],
@@ -697,6 +832,17 @@ class PooledBackend(ServingBackend):
                             )
                         merge_frontier()
                     break
+                if not ready and not inflight and (blocked or chain_blocked):
+                    # Defensive: nothing dispatchable and nothing in flight —
+                    # re-release chain waiters, and fail loudly over spinning
+                    # (unreachable when chain predecessors precede their
+                    # consumers, which split_oversized guarantees).
+                    for batch_index in list(chain_blocked):
+                        release_chain_ready(batch_index)
+                    if not ready:  # pragma: no cover - scheduler guard
+                        raise ServingError(
+                            "window dispatch deadlocked on the sub-shard chain"
+                        )
             if not inflight:
                 continue
             wait_ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
@@ -935,7 +1081,7 @@ class PooledBackend(ServingBackend):
         return True
 
     def _run_on_pool(
-        self, jobs: List[ShardJob]
+        self, jobs: List[ShardJob], chain: Optional[ChainState] = None
     ) -> Tuple[List[ShardOutcome], Set[int], int, bool]:
         """Serve jobs on the pool with dynamic pull dispatch + supervision.
 
@@ -943,6 +1089,11 @@ class PooledBackend(ServingBackend):
         soon as it finishes its previous one (like ``Pool.map`` with chunk
         size 1), so a skewed batch — one giant shard plus several small
         ones — never serialises small shards behind the giant.
+
+        With a ``chain``, sub-shards whose hand-off predecessors have not
+        completed wait aside until the chain marks them ready; dispatch
+        attaches each sub-shard's (memoised) adopt payload, so resubmission
+        after a fault replays the identical hand-off truths.
 
         The supervisor declares an in-flight worker dead on pipe EOF
         (crash), on desync (its warm base can no longer be trusted), or on
@@ -960,12 +1111,30 @@ class PooledBackend(ServingBackend):
         outcomes: List[ShardOutcome] = []
         # Queue entries are (job, resubmitted): the flag survives requeues so
         # the final outcome can be attributed to supervision in provenance.
-        queue: "deque[Tuple[ShardJob, bool]]" = deque((job, False) for job in jobs)
+        queue: "deque[Tuple[ShardJob, bool]]" = deque()
+        chain_blocked: List[Tuple[ShardJob, bool]] = []
+        for job in jobs:
+            if chain is not None and job.predecessors and not chain.ready(job):
+                chain_blocked.append((job, False))
+            else:
+                queue.append((job, False))
         inflight: Dict[_PoolWorker, Tuple[ShardJob, bool]] = {}
         error: Optional[str] = None
         resubmitted: Set[int] = set()
         respawns = 0
         degraded = False
+
+        def release_chain_ready() -> None:
+            """Move sub-shards whose hand-off just completed to the queue."""
+            if chain is None or not chain_blocked:
+                return
+            still: List[Tuple[ShardJob, bool]] = []
+            for entry in chain_blocked:
+                if chain.ready(entry[0]):
+                    queue.append(entry)
+                else:
+                    still.append(entry)
+            chain_blocked[:] = still
 
         def lost(entry: Tuple[ShardJob, bool]) -> None:
             """Requeue a dead worker's job and try to restore capacity."""
@@ -975,7 +1144,7 @@ class PooledBackend(ServingBackend):
             if self._mid_batch_respawn(respawns) is not None:
                 respawns += 1
 
-        while (queue and error is None) or inflight:
+        while ((queue or chain_blocked) and error is None) or inflight:
             if error is None:
                 for worker in self._alive_workers():
                     if not queue:
@@ -983,26 +1152,47 @@ class PooledBackend(ServingBackend):
                     if worker in inflight:
                         continue
                     entry = queue.popleft()
+                    if chain is not None:
+                        entry[0].adopt = chain.payload(entry[0])
                     if self._dispatch(worker, [entry[0]]):
                         worker.touch()
                         inflight[worker] = entry
                     else:
                         queue.appendleft(entry)
-                if queue and not inflight and not self._alive_workers():
+                if (queue or chain_blocked) and not inflight and not self._alive_workers():
                     replacement = self._mid_batch_respawn(respawns)
                     if replacement is not None:
                         respawns += 1
                         continue
                     # The whole pool is gone and the breaker is open (or
                     # respawns are disabled): degrade — serve the remainder
-                    # in-process rather than fail the ticket.
+                    # in-process rather than fail the ticket.  Shard-id order
+                    # is a topological order of the hand-off chain, so every
+                    # payload is available when its consumer executes.
                     degraded = True
-                    for job, was_resubmitted in queue:
-                        outcomes.append(execute_shard_job(self.planner, job))
+                    remaining = sorted(
+                        list(queue) + chain_blocked, key=lambda item: item[0].shard_id
+                    )
+                    queue.clear()
+                    chain_blocked.clear()
+                    for job, was_resubmitted in remaining:
+                        if chain is not None:
+                            job.adopt = chain.payload(job)
+                        outcome = execute_shard_job(self.planner, job)
+                        outcomes.append(outcome)
+                        if chain is not None:
+                            chain.record(outcome)
                         if was_resubmitted:
                             resubmitted.add(job.shard_id)
-                    queue.clear()
                     break
+                if not queue and not inflight and chain_blocked:
+                    # Defensive: re-release, and fail loudly over spinning
+                    # (unreachable while predecessors precede consumers).
+                    release_chain_ready()
+                    if not queue:  # pragma: no cover - scheduler guard
+                        raise ServingError(
+                            "batch dispatch deadlocked on the sub-shard chain"
+                        )
             if not inflight:
                 continue
             ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
@@ -1023,6 +1213,10 @@ class PooledBackend(ServingBackend):
                     elif reply[0] == "done":
                         worker.touch()
                         outcomes.extend(reply[2])
+                        if chain is not None:
+                            for outcome in reply[2]:
+                                chain.record(outcome)
+                            release_chain_ready()
                         if entry[1]:
                             resubmitted.add(entry[0].shard_id)
                     elif reply[0] == "desync":
@@ -1112,6 +1306,7 @@ class RecommendationService:
                     max_respawns_per_batch=config.max_respawns_per_batch,
                     respawn_backoff_s=config.respawn_backoff_s,
                     respawn_backoff_max_s=config.respawn_backoff_max_s,
+                    max_shard_fraction=config.max_shard_fraction,
                 )
         backend.bind(planner)
         self.backend = backend
@@ -1341,13 +1536,16 @@ class RecommendationService:
         ``planner`` holds the resolution counters, ``supervision`` the
         backend's fault-handling aggregates plus the number of responses
         whose shard was resubmitted after a worker loss, ``pipeline`` the
-        cross-batch overlap counters, and ``journal`` (present only when
-        journaling) the durability counters.
+        cross-batch overlap and window-parallelism counters, ``sharding``
+        the skew diagnostics (largest-shard fraction before/after hotspot
+        splitting and the sub-shard chain depth), and ``journal`` (present
+        only when journaling) the durability counters.
         """
         stats: Dict[str, Any] = {
             "planner": self.planner.statistics.as_dict(),
             "supervision": dict(self.backend.supervision_stats()),
             "pipeline": dict(self.backend.pipeline_stats()),
+            "sharding": dict(self.backend.sharding_stats()),
         }
         stats["supervision"]["resubmitted_results"] = self._resubmitted_results
         if self._journal is not None:
@@ -1355,7 +1553,11 @@ class RecommendationService:
         return stats
 
     def plan(self, queries: Sequence[QueryLike]) -> ShardPlan:
-        """The shard plan a batch would execute under (diagnostics)."""
+        """The shard plan a batch would execute under (diagnostics).
+
+        Includes the backend's hotspot splitting: with ``max_shard_fraction``
+        configured, oversized shards appear as their sub-shard chains.
+        """
         resolved = [
             query.query if isinstance(query, RecommendRequest) else query for query in queries
         ]
@@ -1364,7 +1566,11 @@ class RecommendationService:
             if isinstance(self.backend, PooledBackend)
             else 1
         )
-        return self.planner.shard_plan(resolved, shards)
+        plan = self.planner.shard_plan(resolved, shards)
+        fraction = getattr(self.backend, "max_shard_fraction", None)
+        if fraction is not None:
+            plan = split_oversized(self.planner, plan, resolved, fraction)
+        return plan
 
     # -------------------------------------------------------------- internal
     def _wrap(

@@ -179,8 +179,10 @@ class TestChaosMatrix:
     def test_any_fault_schedule_is_oracle_identical(
         self, build_serving_planner, serving_workload, sequential_oracle
     ):
-        """Nightly full matrix: for any injected fault schedule, redeemed
-        results are fingerprint-identical to the sequential oracle."""
+        """Nightly full matrix: for any injected fault schedule — including
+        chain-aware ordinals that land on sub-shard dispatches when hotspot
+        splitting is on — redeemed results are fingerprint-identical to the
+        sequential oracle."""
         from hypothesis import HealthCheck, given, settings
         from hypothesis import strategies as st
 
@@ -193,14 +195,20 @@ class TestChaosMatrix:
             suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
         )
         @given(
+            # Splitting multiplies the dispatch count, so ordinals range past
+            # the unsplit job count: high ordinals only fire when sub-shard
+            # chains are live, hitting producers mid-chain.
             schedule=st.dictionaries(
-                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=13),
                 st.sampled_from(FAULT_KINDS),
                 max_size=4,
-            )
+            ),
+            max_shard_fraction=st.sampled_from([None, 0.25, 0.1]),
         )
-        def run(schedule):
-            backend = FaultInjectingBackend(schedule=schedule, pool_size=2)
+        def run(schedule, max_shard_fraction):
+            backend = FaultInjectingBackend(
+                schedule=schedule, pool_size=2, max_shard_fraction=max_shard_fraction
+            )
             service = RecommendationService(build_serving_planner(), backend=backend)
             try:
                 produced = []

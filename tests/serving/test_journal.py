@@ -313,10 +313,11 @@ class TestServiceJournalIntegration:
         service = RecommendationService(planner, config=self._config(planner, tmp_path))
         service.results(service.submit(list(serving_workload[:16])))
         stats = service.statistics()
-        assert set(stats) == {"planner", "supervision", "pipeline", "journal"}
+        assert set(stats) == {"planner", "supervision", "pipeline", "sharding", "journal"}
         assert stats["planner"]["requests"] == 16
         assert stats["supervision"]["respawns"] == 0
         assert stats["supervision"]["resubmitted_results"] == 0
         assert stats["pipeline"]["windows"] == 0
+        assert stats["sharding"]["sub_shards_total"] == 0
         assert stats["journal"]["records_appended"] == 1
         service.close()

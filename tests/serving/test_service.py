@@ -104,6 +104,40 @@ class TestServiceContract:
         ]
         assert merged == sequential_oracle["plain"]["truths"]
 
+    @pytest.mark.parametrize("max_shard_fraction", [1.0, 0.5, 0.25])
+    @pytest.mark.parametrize("pool_size", [1, 2, 4])
+    @pytest.mark.parametrize("use_processes", [False, True])
+    def test_hotspot_split_matches_sequential(
+        self,
+        build_serving_planner,
+        dominant_workload,
+        sequential_oracle,
+        max_shard_fraction,
+        pool_size,
+        use_processes,
+    ):
+        """The hotspot matrix: every splitting level is observationally
+        invisible — fingerprints, statistics and the merged truth store all
+        equal the sequential oracle, forked pool and in-process alike."""
+        if use_processes and not HAS_FORK:
+            pytest.skip("platform has no fork start method")
+        planner = build_serving_planner()
+        backend = PooledBackend(
+            pool_size=pool_size,
+            use_processes=use_processes,
+            max_shard_fraction=max_shard_fraction,
+        )
+        with RecommendationService(planner, backend=backend) as service:
+            responses = service.results(service.submit(dominant_workload))
+        oracle = sequential_oracle["dominant"]
+        assert _fingerprints(responses) == oracle["fingerprints"]
+        assert planner.statistics.as_dict() == oracle["statistics"]
+        merged = [
+            (t.origin, t.destination, t.time_slot, t.route.path, t.verified_by, t.confidence)
+            for t in planner.truths.all()
+        ]
+        assert merged == oracle["truths"]
+
     def test_request_envelopes_carry_queries_and_provenance(
         self, build_serving_planner, serving_workload
     ):
