@@ -51,6 +51,7 @@ from repro.serving import (
     RecommendationService,
     ShardedRecommendationEngine,
     TruthJournal,
+    WorkspaceService,
     encode_truth_delta,
     recommendation_fingerprint,
 )
@@ -618,6 +619,130 @@ def test_crowd_pipeline_reference(benchmark, pipeline_setup):
         warmup_rounds=0,
     )
     assert [recommendation_fingerprint(r) for r in results] == oracle
+
+
+# -------------------------------------------------------------- crowd tenant
+TENANT_NAMES = ("alpha", "beta", "gamma")
+
+
+def _run_tenants_shared_pool(build_planner, tenant_batches):
+    """One shared pool for every tenant: a single ``WorkspaceService`` forks
+    its workers once, then the tenants' batches interleave round-robin over
+    the warm pool (workers keep per-tenant truth bases between turns)."""
+    template = build_planner()
+    config = ServiceConfig.from_planner_config(
+        template.config, backend="pooled", pool_size=2
+    )
+    results = {name: [] for name in tenant_batches}
+    with WorkspaceService(template, config=config) as service:
+        for name in tenant_batches:
+            service.create_workspace(name)
+        rounds = max(len(batches) for batches in tenant_batches.values())
+        for index in range(rounds):
+            for name, batches in tenant_batches.items():
+                if index >= len(batches):
+                    continue
+                workspace = service.workspace(name)
+                results[name].extend(
+                    response.result
+                    for response in workspace.results(workspace.submit(batches[index]))
+                )
+    return results
+
+
+def _run_tenants_dedicated(build_planner, tenant_batches):
+    """The isolation baseline: one dedicated ``RecommendationService`` per
+    tenant, each forking (and tearing down) its own two-worker pool."""
+    results = {}
+    for name, batches in tenant_batches.items():
+        planner = build_planner()
+        config = ServiceConfig.from_planner_config(
+            planner.config, backend="pooled", pool_size=2
+        )
+        with RecommendationService(planner, config) as service:
+            collected = []
+            for batch in batches:
+                collected.extend(
+                    response.result for response in service.results(service.submit(batch))
+                )
+        results[name] = collected
+    return results
+
+
+@pytest.fixture(scope="module")
+def tenant_setup(serving_city):
+    """Three tenants' batch streams plus per-tenant sequential oracles.
+
+    Before any timing, both contenders — the interleaved shared-pool
+    workspaces and the sequential dedicated services — are asserted
+    fingerprint-identical, tenant by tenant, to a sequential oracle run on a
+    dedicated planner.  A timing result can therefore never hide a
+    cross-tenant truth leak or ordering divergence.
+    """
+    scenario, build_planner = serving_city
+    tenant_batches = {}
+    for offset, name in enumerate(TENANT_NAMES):
+        tenant_batches[name] = generate_stream_workload(
+            scenario.network,
+            StreamWorkloadConfig(
+                num_batches=2, batch_size=25, num_clusters=5,
+                dominant_destination_fraction=0.15, seed=211 + offset,
+            ),
+        )
+    oracles = {}
+    for name, batches in tenant_batches.items():
+        planner = build_planner()
+        oracles[name] = [
+            recommendation_fingerprint(result)
+            for batch in batches
+            for result in planner.recommend_batch(batch)
+        ]
+    for runner in (_run_tenants_shared_pool, _run_tenants_dedicated):
+        results = runner(build_planner, tenant_batches)
+        for name in TENANT_NAMES:
+            fingerprints = [recommendation_fingerprint(r) for r in results[name]]
+            assert fingerprints == oracles[name], (
+                f"{runner.__name__} diverged from tenant {name}'s sequential oracle"
+            )
+    return build_planner, tenant_batches, oracles
+
+
+def _assert_tenant_oracles(results, oracles):
+    for name in TENANT_NAMES:
+        assert [recommendation_fingerprint(r) for r in results[name]] == oracles[name]
+
+
+@pytest.mark.benchmark(group="crowd_tenant")
+def test_crowd_tenant_compiled(benchmark, tenant_setup):
+    """Interleaved multi-tenant serving over one shared warm pool.
+
+    The shared pool forks two workers once for all three tenants, and the
+    workers' per-tenant warm truth bases survive the interleaving — the
+    reference pays a full pool fork + teardown per tenant.  Like the other
+    serving suites the ratio is core-count dependent, but the fork
+    amortisation is paid even on a single core, so the ratio stays above 1
+    everywhere."""
+    build_planner, tenant_batches, oracles = tenant_setup
+    results = benchmark.pedantic(
+        _run_tenants_shared_pool, args=(build_planner, tenant_batches),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["tenants"] = len(TENANT_NAMES)
+    benchmark.extra_info["pool_forks"] = 2
+    _assert_tenant_oracles(results, oracles)
+
+
+@pytest.mark.benchmark(group="crowd_tenant")
+def test_crowd_tenant_reference(benchmark, tenant_setup):
+    """Sequential dedicated per-tenant services on identical workloads."""
+    build_planner, tenant_batches, oracles = tenant_setup
+    results = benchmark.pedantic(
+        _run_tenants_dedicated, args=(build_planner, tenant_batches),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["tenants"] = len(TENANT_NAMES)
+    benchmark.extra_info["pool_forks"] = 2 * len(TENANT_NAMES)
+    _assert_tenant_oracles(results, oracles)
 
 
 # ------------------------------------------------------------- crowd hotspot

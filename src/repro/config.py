@@ -155,6 +155,9 @@ class ServiceConfig(PlannerConfig):
     Extends :class:`PlannerConfig` with the serving-layer knobs, so one
     object can describe both the planner pipeline and the service wrapped
     around it (build the planner with :meth:`planner_config`).
+    :class:`~repro.serving.tenancy.WorkspaceService` applies one such
+    object's serving knobs to every workspace it hosts, while each
+    workspace may substitute its own :class:`PlannerConfig` half.
 
     Attributes
     ----------

@@ -237,6 +237,12 @@ class CrowdPlanner:
             self.familiarity = FamiliarityModel(self.worker_pool, self.catalog, self.config)
         self.familiarity.fit(use_pmf=use_pmf)
         self.worker_selector = WorkerSelector(self.worker_pool, self.familiarity, self.config)
+        # A familiarity refresh is the population-change boundary: backends
+        # that precompute population-level answer accuracies (the simulated
+        # crowd's columnar fast path) rebuild their matrix here.
+        refresh = getattr(self.crowd_backend, "refresh_population_accuracies", None)
+        if refresh is not None:
+            refresh()
 
     def generate_candidates(self, query: RouteQuery) -> List[CandidateRoute]:
         """Collect candidate routes from every source, dropping failures and duplicates.

@@ -180,6 +180,19 @@ class SimulatedCrowd(CrowdBackend):
         vectorized behaviour-model evaluation per crew, compiled tree walk,
         flat columns); ``False`` routes every call through the sequential
         oracle and disables the columnar fast path.
+    use_population_accuracies:
+        When true (the default) a familiarity refresh
+        (:meth:`refresh_population_accuracies`, called from
+        :meth:`CrowdPlanner.prepare_workers <repro.core.planner.CrowdPlanner.prepare_workers>`)
+        precomputes one population-level ``(worker, landmark)`` accuracy
+        matrix over the whole pool and catalogue; per-task crew rows are
+        then plain list slices of it, removing the last per-task numpy
+        dispatch from the columnar hot path.  Slices are bit-identical to
+        the per-task matrix (the computation is elementwise per (worker,
+        landmark) and an ``inf``-padded anchor never wins the
+        nearest-anchor minimum); ``False`` keeps the per-task evaluation,
+        which stays in place as the equivalence oracle and the fallback
+        for workers or landmarks registered after the refresh.
     """
 
     def __init__(
@@ -191,6 +204,7 @@ class SimulatedCrowd(CrowdBackend):
         behavior: Optional[AnswerBehaviorModel] = None,
         seed: int = 37,
         batched: bool = True,
+        use_population_accuracies: bool = True,
     ):
         self.pool = pool
         self.catalog = catalog
@@ -199,6 +213,12 @@ class SimulatedCrowd(CrowdBackend):
         self.behavior = behavior or AnswerBehaviorModel()
         self.seed = seed
         self.batched = batched
+        self.use_population_accuracies = use_population_accuracies
+        # Population accuracy matrix, rebuilt by refresh_population_accuracies:
+        # (worker_id -> full accuracy row, landmark_id -> column index).
+        self._population: Optional[
+            Tuple[Dict[int, List[float]], Dict[int, int]]
+        ] = None
         # Per-query ground-truth landmark sets (batched path only).  The
         # ground-truth provider is deterministic per query, so calibrating its
         # route once per od-pair instead of once per task removes the
@@ -249,7 +269,7 @@ class SimulatedCrowd(CrowdBackend):
         workers = [self.pool.get(worker_id) for worker_id in worker_ids]
         accuracies = tree.accuracy_rows.get(crew)
         if accuracies is None:
-            accuracies = self.behavior.answer_accuracies_matrix(workers, tree.xs, tree.ys).tolist()
+            accuracies = self._crew_accuracies(tree, workers)
             if len(tree.accuracy_rows) >= 8:
                 tree.accuracy_rows.clear()
             tree.accuracy_rows[crew] = accuracies
@@ -378,6 +398,58 @@ class SimulatedCrowd(CrowdBackend):
         if not worker_ids:
             raise CrowdPlannerError("collect_responses called with no workers")
         return self._collect_sequential(task, worker_ids)
+
+    # ------------------------------------------------- population accuracies
+    def refresh_population_accuracies(self) -> None:
+        """Precompute the population ``(worker, landmark)`` accuracy matrix.
+
+        Called whenever the familiarity model is (re)fitted — worker anchors
+        are registration-time profile data, so the matrix is valid until the
+        next refresh changes the population.  One vectorized evaluation over
+        every pool worker and catalogue landmark replaces all later per-task
+        ``answer_accuracies_matrix`` calls with pure-list slicing (see
+        :meth:`_crew_accuracies`).  A no-op (clearing any stale matrix) when
+        the columnar path or the knob is off, or the pool/catalogue is empty.
+        """
+        self._population = None
+        if not (self.batched and self.use_population_accuracies):
+            return
+        workers = self.pool.workers()
+        landmarks = self.catalog.all()
+        if not workers or not landmarks:
+            return
+        xs = np.array([lm.anchor.x for lm in landmarks], dtype=np.float64)
+        ys = np.array([lm.anchor.y for lm in landmarks], dtype=np.float64)
+        matrix = self.behavior.answer_accuracies_matrix(workers, xs, ys)
+        worker_rows = {
+            worker.worker_id: row for worker, row in zip(workers, matrix.tolist())
+        }
+        landmark_cols = {lm.landmark_id: j for j, lm in enumerate(landmarks)}
+        self._population = (worker_rows, landmark_cols)
+
+    def _crew_accuracies(self, tree: _CompiledTree, workers) -> List[List[float]]:
+        """The crew's accuracy rows over the tree's landmark set.
+
+        Sliced out of the population matrix when one is current — each
+        (worker, landmark) cell of the population matrix is computed by the
+        same elementwise arithmetic as the per-task call, and the wider
+        ``inf`` anchor padding never wins the nearest-anchor minimum, so
+        slices are bit-identical to the per-task evaluation below, which
+        remains the equivalence oracle and the fallback for any worker or
+        landmark the refresh has not seen.
+        """
+        population = self._population
+        if population is not None:
+            worker_rows, landmark_cols = population
+            try:
+                cols = [landmark_cols[lid] for lid in tree.landmark_ids]
+                return [
+                    [worker_rows[worker.worker_id][col] for col in cols]
+                    for worker in workers
+                ]
+            except KeyError:
+                pass  # late-registered worker or landmark
+        return self.behavior.answer_accuracies_matrix(workers, tree.xs, tree.ys).tolist()
 
     # -------------------------------------------------------------- internal
     def _compiled_tree(self, task: Task) -> _CompiledTree:

@@ -25,6 +25,12 @@ path, which stays in place as the behavioural oracle:
   log of per-batch truth deltas with compacted snapshots, attached via
   ``ServiceConfig(journal_path=…)`` and replayed by
   :meth:`RecommendationService.recover` to the exact pre-crash truth state;
+* :mod:`~repro.serving.tenancy` — multi-tenant workspaces:
+  :class:`WorkspaceService` opens named :class:`Workspace` tenants that each
+  own an isolated truth store, histories, batch numbering and journal
+  directory while sharing one warm :class:`PooledBackend` through the
+  tenant-tagged :class:`TenantBackend` facade, with whole-tree crash
+  recovery via :meth:`WorkspaceService.recover_all`;
 * :class:`ShardedRecommendationEngine` — the deprecated per-batch shim kept
   for backwards compatibility and as the fork-per-batch baseline.
 
@@ -53,10 +59,13 @@ from .protocol import (
     response_fingerprint,
     wrap_requests,
 )
-from .service import InlineBackend, PooledBackend, RecommendationService
+from .service import DEFAULT_TENANT, InlineBackend, PooledBackend, RecommendationService
+from .shards import build_tenant_planner
+from .tenancy import TenantBackend, Workspace, WorkspaceService
 
 __all__ = [
     "BatchTimings",
+    "DEFAULT_TENANT",
     "InlineBackend",
     "PooledBackend",
     "RecommendRequest",
@@ -65,11 +74,15 @@ __all__ = [
     "ResultProvenance",
     "ServingBackend",
     "ShardedRecommendationEngine",
+    "TenantBackend",
     "Ticket",
     "TruthDeltaBlock",
     "TruthJournal",
     "WindowBatch",
+    "Workspace",
+    "WorkspaceService",
     "batch_dependencies",
+    "build_tenant_planner",
     "encode_truth_delta",
     "recommendation_fingerprint",
     "response_fingerprint",

@@ -140,6 +140,9 @@ class TruthJournal:
         self._tail_records: List[Tuple[int, int]] = []  # (payload offset, length)
         self._scan_tail()
         self._handle = self._open_segment_for_append()
+        # On-disk footprint (segment + snapshot), measured once at open and
+        # maintained incrementally so stats() never rescans the directory.
+        self._disk_bytes = self._scan_disk_bytes()
 
     # ------------------------------------------------------------- file names
     def _journal_file(self, generation: Optional[int] = None) -> Path:
@@ -283,6 +286,16 @@ class TruthJournal:
             handle = open(segment, "ab")
         return handle
 
+    def _scan_disk_bytes(self) -> int:
+        """Stat the current generation's files (open-time baseline only)."""
+        total = 0
+        for file in (self._journal_file(), self._snapshot_file()):
+            try:
+                total += file.stat().st_size
+            except OSError:
+                pass
+        return total
+
     def _sync_directory(self) -> None:
         """Fsync the journal directory so renames/creates are durable."""
         try:
@@ -310,6 +323,12 @@ class TruthJournal:
         the durable "batches completed" counter crash recovery resumes at."""
         return self._batch_count
 
+    @property
+    def disk_bytes(self) -> int:
+        """Current on-disk footprint (delta segment + snapshot), tracked
+        incrementally — reading it never rescans or re-stats the files."""
+        return self._disk_bytes
+
     def stats(self) -> Dict[str, Any]:
         return {
             "path": str(self.path),
@@ -317,6 +336,7 @@ class TruthJournal:
             "generation": self._generation,
             "truths": self._truth_count,
             "batches": self._batch_count,
+            "disk_bytes": self._disk_bytes,
             "records_appended": self.records_appended,
             "snapshots_written": self.snapshots_written,
             "recovered_truncated": self.recovered_truncated,
@@ -370,6 +390,7 @@ class TruthJournal:
         if self.fsync:
             os.fsync(self._handle.fileno())
         self._tail_records.append((self._handle.tell() - len(payload), len(payload)))
+        self._disk_bytes += _FRAME.size + len(payload)
         self._truth_count += len(truths)
         self._batch_count += 1
         self.records_appended += 1
@@ -421,6 +442,11 @@ class TruthJournal:
                 stale.unlink()
         self._sync_directory()
         self.snapshots_written += 1
+        # The rotated generation is exactly the new snapshot plus an empty
+        # delta segment (magic only).
+        self._disk_bytes = (
+            len(_SNAPSHOT_MAGIC) + _FRAME.size + len(payload) + len(_JOURNAL_MAGIC)
+        )
 
     # ----------------------------------------------------------------- replay
     def _iter_tail_payloads(self) -> Iterator[Tuple[Dict[str, Any], Any]]:

@@ -20,6 +20,13 @@ themselves stay strictly in submission order, which is what keeps truth-id
 issuance — and therefore every fingerprint — identical to the sequential
 oracle for any overlap schedule.
 
+Windows are always single-tenant: :class:`~repro.serving.tenancy.
+WorkspaceService` gives every workspace its own
+:class:`~repro.serving.RecommendationService`, so only batches of one
+tenant are ever pending together and the dependency analysis never has to
+reason about another tenant's truth writes (which its destination-keyed
+views could not see anyway — tenants own disjoint truth stores).
+
 Why the conservative cell-closure test is sufficient
 ----------------------------------------------------
 All shard truth *reads* go through

@@ -74,6 +74,7 @@ from .shards import (
     ChainState,
     ShardJob,
     ShardOutcome,
+    build_tenant_planner,
     execute_jobs_inline,
     execute_shard_job,
     handoff_id_base,
@@ -82,6 +83,11 @@ from .shards import (
 )
 
 QueryLike = Union[RouteQuery, RecommendRequest]
+
+#: The implicit workspace of a single-tenant backend: the planner the
+#: backend was bound to.  Named workspaces (``repro.serving.tenancy``)
+#: register additional planners beside it on the same pool.
+DEFAULT_TENANT = ""
 
 
 # ------------------------------------------------------------ inline backend
@@ -119,7 +125,11 @@ class InlineBackend(ServingBackend):
 
 # ------------------------------------------------------------ pooled backend
 def _pool_worker_main(
-    conn, planner: CrowdPlanner, heartbeat_interval_s: float = 0.5, stale_conns=()
+    conn,
+    planner: CrowdPlanner,
+    tenants=None,
+    heartbeat_interval_s: float = 0.5,
+    stale_conns=(),
 ) -> None:
     """Long-lived pool worker loop (child process, entered right after fork).
 
@@ -133,6 +143,18 @@ def _pool_worker_main(
     keeping lookup tie-breaks identical — and each shard then executes on a
     fresh clone over a copy-on-write slice of the warm base.  Strict
     request/reply: every *substantive* message gets exactly one response.
+
+    Tenancy: the worker keeps one warm truth base *per workspace* —
+    ``tenants`` maps workspace names to their fork-inherited planners, and
+    the default tenant ``""`` is ``planner`` itself.  Every ``sync``/``run``
+    message names its tenant and may carry a :class:`~repro.config.
+    PlannerConfig` spec; a tenant registered after this worker forked is
+    built lazily from that spec via :func:`build_tenant_planner` (sharing
+    the fork-inherited substrate and *frozen* familiarity, so the lazy copy
+    is behaviourally identical to a fork-inherited one) and then brought
+    current by the message's own delta, which spans that tenant's whole
+    store.  Deltas adopt into the named tenant's base only — one tenant's
+    traffic can never touch another tenant's warm truths.
 
     While a message is being served, a daemon thread additionally emits a
     ``("beat", pid)`` heartbeat every ``heartbeat_interval_s`` so the
@@ -153,6 +175,22 @@ def _pool_worker_main(
         except OSError:  # pragma: no cover - already closed pre-fork
             pass
     pid = os.getpid()
+    bases: Dict[str, CrowdPlanner] = {DEFAULT_TENANT: planner}
+    if tenants:
+        bases.update(tenants)
+
+    def base_for(tenant: str, spec) -> CrowdPlanner:
+        base = bases.get(tenant)
+        if base is None:
+            if spec is None:
+                raise ServingError(
+                    f"worker {pid} received work for unknown tenant {tenant!r} "
+                    "without a planner spec"
+                )
+            base = build_tenant_planner(planner, spec)
+            bases[tenant] = base
+        return base
+
     send_lock = threading.Lock()
     busy = threading.Event()
     stopping = threading.Event()
@@ -189,9 +227,21 @@ def _pool_worker_main(
                 break
             if kind == "ping":
                 send(("pong", pid))
+            elif kind == "drop":
+                # Forget a closed workspace's warm base (no reply — like
+                # "stop", it carries no work to acknowledge).  The name may
+                # be reused by a future workspace whose state is rebuilt
+                # from its spec + full delta.
+                bases.pop(message[1], None)
             elif kind in ("sync", "run"):
+                # ("sync"|"run", tenant, spec, delta[, jobs]) — a failure
+                # while resolving the tenant base or adopting its delta is a
+                # desync (the warm base may be partially updated); a failure
+                # during shard execution leaves every base intact.
+                tenant, spec, delta = message[1], message[2], message[3]
                 try:
-                    planner.truths.adopt_all(message[1])
+                    base = base_for(tenant, spec)
+                    base.truths.adopt_all(delta)
                 except Exception:
                     send(("desync", pid, traceback.format_exc()))
                     continue
@@ -199,7 +249,7 @@ def _pool_worker_main(
                     send(("synced", pid))
                     continue
                 try:
-                    outcomes = [execute_shard_job(planner, job) for job in message[2]]
+                    outcomes = [execute_shard_job(base, job) for job in message[4]]
                 except Exception:
                     send(("error", pid, traceback.format_exc()))
                     continue
@@ -217,13 +267,17 @@ def _pool_worker_main(
 class _PoolWorker:
     """Parent-side handle of one pool worker."""
 
-    __slots__ = ("process", "conn", "pid", "cursor", "dead", "last_heard")
+    __slots__ = ("process", "conn", "pid", "cursors", "dead", "last_heard")
 
-    def __init__(self, process, conn, cursor: int):
+    def __init__(self, process, conn, cursors: Dict[str, int]):
         self.process = process
         self.conn = conn
         self.pid = process.pid
-        self.cursor = cursor  # parent truths already synced to this worker
+        # Per-tenant truth cursors: parent truths already synced to this
+        # worker, keyed by workspace name ("" = default tenant).  A tenant
+        # missing here is one the worker has never heard of — the next
+        # dispatch for it ships the planner spec plus the full store.
+        self.cursors = cursors
         self.dead = False
         self.last_heard = time.monotonic()  # last reply or heartbeat seen
 
@@ -361,14 +415,126 @@ class PooledBackend(ServingBackend):
         # Seeded so backoff jitter is reproducible run to run.
         self._backoff_rng = random.Random(0x5EED)
         self._workers: List[_PoolWorker] = []
-        # One-entry memo of the last encoded delta (see _wire_delta).
-        self._wire_cache: Optional[Tuple[Tuple[int, int], object]] = None
+        # Named workspaces sharing this pool beside the bound (default)
+        # planner: tenant name -> planner.  Registration order is the order
+        # freshly forked workers inherit the warm bases in.
+        self._tenants: "OrderedDict[str, CrowdPlanner]" = OrderedDict()
+        # Per-tenant supervision attribution (see ``tenant_stats``).
+        self._tenant_stats: Dict[str, Dict[str, int]] = {}
+        # One-entry-per-tenant memo of the last encoded delta (_wire_delta).
+        self._wire_cache: Dict[str, Tuple[Tuple[int, int], object]] = {}
+
+    @classmethod
+    def from_config(cls, config: "ServiceConfig") -> "PooledBackend":
+        """Build a pool from a service configuration's serving knobs."""
+        return cls(
+            pool_size=config.pool_size,
+            use_processes=config.use_processes,
+            merge_every_batches=config.merge_every_batches,
+            truth_wire=config.truth_wire,
+            respawn_workers=config.respawn_workers,
+            heartbeat_interval_s=config.heartbeat_interval_s,
+            rpc_deadline_s=config.rpc_deadline_s,
+            max_respawns_per_batch=config.max_respawns_per_batch,
+            respawn_backoff_s=config.respawn_backoff_s,
+            respawn_backoff_max_s=config.respawn_backoff_max_s,
+            max_shard_fraction=config.max_shard_fraction,
+        )
 
     # -------------------------------------------------------------- plumbing
     def bind(self, planner: CrowdPlanner) -> None:
         if self.planner is not None and self.planner is not planner:
             raise ServingError("backend is already bound to a different planner")
         self.planner = planner
+
+    # --------------------------------------------------------------- tenancy
+    def register_tenant(self, name: str, planner: CrowdPlanner) -> None:
+        """Register a named workspace's planner beside the default one.
+
+        Workers forked afterwards inherit the planner (warm base included);
+        workers already running learn about the tenant lazily — their first
+        dispatch for it ships the tenant's
+        :class:`~repro.config.PlannerConfig` plus the whole current store as
+        a delta, so they rebuild an identical base from the shared substrate.
+        """
+        if not name:
+            raise ServingError("tenant name must be non-empty")
+        existing = self._tenants.get(name)
+        if existing is not None and existing is not planner:
+            raise ServingError(
+                f"tenant {name!r} is already registered with a different planner"
+            )
+        self._tenants[name] = planner
+
+    def drop_tenant(self, name: str) -> None:
+        """Deregister a workspace without touching the shared pool.
+
+        Live workers are told to forget the tenant's warm base, so a later
+        workspace reusing the name starts from the fresh spec + full delta
+        instead of a stale fork-inherited store.
+        """
+        if self._tenants.pop(name, None) is None:
+            return
+        self._wire_cache.pop(name, None)
+        for worker in self._workers:
+            if worker.cursors.pop(name, None) is not None and worker.alive:
+                self._send(worker, ("drop", name))
+
+    def tenant_names(self) -> List[str]:
+        return list(self._tenants)
+
+    def _planner_for(self, tenant: str) -> CrowdPlanner:
+        if tenant == DEFAULT_TENANT:
+            if self.planner is None:
+                raise ServingError("backend is not bound to a planner")
+            return self.planner
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise ServingError(f"unknown tenant {tenant!r}") from None
+
+    def _tenant_counters(self, tenant: str) -> Dict[str, int]:
+        return self._tenant_stats.setdefault(
+            tenant,
+            {
+                "batches": 0,
+                "respawns": 0,
+                "resubmitted_shards": 0,
+                "hung_workers_killed": 0,
+                "degraded_batches": 0,
+            },
+        )
+
+    def _counter_snapshot(self) -> Tuple[int, int, int, int]:
+        return (
+            self.respawns_total,
+            self.resubmitted_shards_total,
+            self.hung_workers_killed,
+            self.degraded_batches,
+        )
+
+    def _attribute_counters(
+        self, tenant: str, before: Tuple[int, int, int, int], batches: int
+    ) -> None:
+        """Attribute the supervision counter deltas since ``before`` to one
+        tenant.  Sound because batches/windows execute one at a time on the
+        shared pool: every respawn, resubmission, hang-kill or degrade
+        between the snapshots happened inside this tenant's work."""
+        after = self._counter_snapshot()
+        stats = self._tenant_counters(tenant)
+        stats["batches"] += batches
+        for key, start, end in zip(
+            ("respawns", "resubmitted_shards", "hung_workers_killed", "degraded_batches"),
+            before,
+            after,
+        ):
+            stats[key] += end - start
+
+    def tenant_stats(self, tenant: Optional[str] = None):
+        """Per-tenant supervision breakdown (all tenants, or one copy)."""
+        if tenant is not None:
+            return dict(self._tenant_counters(tenant))
+        return {name: dict(stats) for name, stats in self._tenant_stats.items()}
 
     def resolved_pool_size(self) -> int:
         if self.pool_size is not None:
@@ -411,11 +577,13 @@ class PooledBackend(ServingBackend):
         self._stop_pool()
 
     # ------------------------------------------------------ hotspot splitting
-    def _split_plan(self, plan: ShardPlan, queries: Sequence[RouteQuery]) -> ShardPlan:
+    def _split_plan(
+        self, planner: CrowdPlanner, plan: ShardPlan, queries: Sequence[RouteQuery]
+    ) -> ShardPlan:
         """Apply the configured ``max_shard_fraction`` split (idempotent)."""
         if self.max_shard_fraction is None:
             return plan
-        return split_oversized(self.planner, plan, queries, self.max_shard_fraction)
+        return split_oversized(planner, plan, queries, self.max_shard_fraction)
 
     def _note_plan(self, before: ShardPlan, after: ShardPlan) -> None:
         """Record one batch's skew diagnostics (see ``sharding_stats``)."""
@@ -438,19 +606,21 @@ class PooledBackend(ServingBackend):
         queries: Sequence[RouteQuery],
         share_candidate_generation: bool = True,
         plan: Optional[ShardPlan] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> BatchExecution:
-        planner = self.planner
-        if planner is None:
+        if self.planner is None:
             raise ServingError("backend is not bound to a planner")
+        planner = self._planner_for(tenant)
         queries = list(queries)
         if not queries:
             return BatchExecution(results=[], origins=[])
+        counters_before = self._counter_snapshot()
 
         started = time.perf_counter()
         if plan is None:
             plan = planner.shard_plan(queries, self.resolved_pool_size())
         raw_plan = plan
-        plan = self._split_plan(plan, queries)
+        plan = self._split_plan(planner, plan, queries)
         self._note_plan(raw_plan, plan)
         plan_s = time.perf_counter() - started
 
@@ -467,6 +637,7 @@ class PooledBackend(ServingBackend):
                 share_candidate_generation=share_candidate_generation,
                 predecessors=shard.predecessors,
                 handoff_from=shard.handoff_from,
+                tenant=tenant,
             )
             for shard in plan.shards
         ]
@@ -486,7 +657,9 @@ class PooledBackend(ServingBackend):
                 self._respawn_dead()
             try:
                 chain = ChainState(jobs, handoff_id_base(), self._chain_encoder())
-                outcomes, resubmitted, respawns, degraded = self._run_on_pool(jobs, chain)
+                outcomes, resubmitted, respawns, degraded = self._run_on_pool(
+                    jobs, chain, tenant
+                )
             finally:
                 if not self.persistent:
                     self._stop_pool()
@@ -503,8 +676,9 @@ class PooledBackend(ServingBackend):
         merge_s = time.perf_counter() - started
 
         self.batches_executed += 1
+        self._attribute_counters(tenant, counters_before, batches=1)
         if self._workers and self.batches_executed % self.merge_every_batches == 0:
-            self._push_sync()
+            self._push_sync(tenant)
 
         origins: List[Tuple[Optional[int], Optional[int]]] = [(None, None)] * len(queries)
         for outcome in outcomes:
@@ -523,7 +697,9 @@ class PooledBackend(ServingBackend):
             respawn_count=respawns,
         )
 
-    def execute_window(self, batches: Sequence[WindowBatch]) -> List[BatchExecution]:
+    def execute_window(
+        self, batches: Sequence[WindowBatch], tenant: str = DEFAULT_TENANT
+    ) -> List[BatchExecution]:
         """Overlap a window of consecutive batches on the pool (DAG dispatch).
 
         Each batch is shard-planned as usual, then
@@ -547,22 +723,23 @@ class PooledBackend(ServingBackend):
         window-level (all batches of a window report the same warm flag and
         the respawns seen up to their own merge).
         """
-        planner = self.planner
-        if planner is None:
+        if self.planner is None:
             raise ServingError("backend is not bound to a planner")
+        planner = self._planner_for(tenant)
         window = [
             WindowBatch(list(batch.queries), batch.share_candidate_generation)
             for batch in batches
         ]
         if len(window) <= 1 or not self.persistent or not self._can_fork():
-            return super().execute_window(window)
+            return self._execute_window_barrier(window, tenant)
 
+        counters_before = self._counter_snapshot()
         plans: List[ShardPlan] = []
         plan_times: List[float] = []
         for batch in window:
             started = time.perf_counter()
             raw_plan = planner.shard_plan(batch.queries, self.resolved_pool_size())
-            split_plan = self._split_plan(raw_plan, batch.queries)
+            split_plan = self._split_plan(planner, raw_plan, batch.queries)
             self._note_plan(raw_plan, split_plan)
             plans.append(split_plan)
             plan_times.append(time.perf_counter() - started)
@@ -582,6 +759,7 @@ class PooledBackend(ServingBackend):
                     share_candidate_generation=batch.share_candidate_generation,
                     predecessors=shard.predecessors,
                     handoff_from=shard.handoff_from,
+                    tenant=tenant,
                 )
                 for shard in plan.shards
             ]
@@ -600,8 +778,11 @@ class PooledBackend(ServingBackend):
         if warm:
             self._respawn_dead()
         batches_before = self.batches_executed
-        executions = self._run_window(window, plan_times, jobs_per_batch, deps, warm, chains)
+        executions = self._run_window(
+            window, plan_times, jobs_per_batch, deps, warm, chains, tenant
+        )
         self.windows_executed += 1
+        self._attribute_counters(tenant, counters_before, batches=len(executions))
         # Sync cadence at the window edge (never mid-window: a blocking
         # "synced" round-trip while shards are in flight would swallow their
         # "done" replies).  Crossing any multiple of the cadence inside the
@@ -610,7 +791,36 @@ class PooledBackend(ServingBackend):
             self.batches_executed // self.merge_every_batches
             > batches_before // self.merge_every_batches
         ):
-            self._push_sync()
+            self._push_sync(tenant)
+        return executions
+
+    def _execute_window_barrier(
+        self, window: List[WindowBatch], tenant: str
+    ) -> List[BatchExecution]:
+        """The barrier scheduler with tenant threading: each batch through
+        :meth:`execute_batch` in submission order, ``truth_span`` bracketed
+        on the *tenant's* truth cursor (mirrors the default
+        :meth:`ServingBackend.execute_window` contract byte for byte)."""
+        planner = self._planner_for(tenant)
+        executions: List[BatchExecution] = []
+        for batch in window:
+            before = planner.truth_cursor()
+            # The tenant kwarg is threaded only when set, so subclasses that
+            # override ``execute_batch`` with the base signature keep
+            # working for the default tenant.
+            kwargs = {} if tenant == DEFAULT_TENANT else {"tenant": tenant}
+            try:
+                execution = self.execute_batch(
+                    batch.queries,
+                    share_candidate_generation=batch.share_candidate_generation,
+                    **kwargs,
+                )
+            except Exception:
+                if executions:
+                    break
+                raise
+            execution.truth_span = (before, planner.truth_cursor())
+            executions.append(execution)
         return executions
 
     def _run_window(
@@ -621,6 +831,7 @@ class PooledBackend(ServingBackend):
         deps: List[List[int]],
         warm: bool,
         chains: List[ChainState],
+        tenant: str = DEFAULT_TENANT,
     ) -> List[BatchExecution]:
         """DAG dispatch + supervision for one window (see ``execute_window``).
 
@@ -653,7 +864,7 @@ class PooledBackend(ServingBackend):
         stays pending at the service and the error re-raises
         deterministically when it heads a later window.
         """
-        planner = self.planner
+        planner = self._planner_for(tenant)
         num_batches = len(window)
         total = [len(jobs) for jobs in jobs_per_batch]
         done: List[List[ShardOutcome]] = [[] for _ in range(num_batches)]
@@ -885,8 +1096,14 @@ class PooledBackend(ServingBackend):
         return executions
 
     # ------------------------------------------------------------- pool mgmt
-    def _spawn_worker(self, context, cursor: int) -> _PoolWorker:
-        """Fork one worker inheriting the planner's *current* state."""
+    def _spawn_worker(self, context) -> _PoolWorker:
+        """Fork one worker inheriting every tenant planner's *current* state.
+
+        The fork carries the default planner plus all registered tenant
+        planners by reference; the worker's cursors start at each store's
+        current position, so the first dispatch per tenant ships an empty
+        delta.
+        """
         parent_conn, child_conn = context.Pipe()
         # The fork context passes args by reference, so the child receives
         # the inherited parent-side ends to close (see _pool_worker_main):
@@ -895,12 +1112,21 @@ class PooledBackend(ServingBackend):
         stale_conns.append(parent_conn)
         process = context.Process(
             target=_pool_worker_main,
-            args=(child_conn, self.planner, self.heartbeat_interval_s, stale_conns),
+            args=(
+                child_conn,
+                self.planner,
+                dict(self._tenants),
+                self.heartbeat_interval_s,
+                stale_conns,
+            ),
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return _PoolWorker(process, parent_conn, cursor)
+        cursors = {DEFAULT_TENANT: self.planner.truth_cursor()}
+        for name, tenant_planner in self._tenants.items():
+            cursors[name] = tenant_planner.truth_cursor()
+        return _PoolWorker(process, parent_conn, cursors)
 
     def _ensure_pool(self) -> bool:
         """Fork the pool if none is alive; ``True`` when a fork happened."""
@@ -908,11 +1134,10 @@ class PooledBackend(ServingBackend):
             return False
         self._workers = []
         context = multiprocessing.get_context("fork")
-        cursor = self.planner.truth_cursor()
         # Spawn via append so each fork sees the siblings forked before it in
         # self._workers and closes its inherited copies of their pipe ends.
         for _ in range(self.resolved_pool_size()):
-            self._workers.append(self._spawn_worker(context, cursor))
+            self._workers.append(self._spawn_worker(context))
         return True
 
     def _respawn_dead(self) -> None:
@@ -934,10 +1159,9 @@ class PooledBackend(ServingBackend):
             self._workers = survivors or self._workers
             return
         context = multiprocessing.get_context("fork")
-        cursor = self.planner.truth_cursor()
         self._workers = survivors
         for _ in range(missing):
-            self._workers.append(self._spawn_worker(context, cursor))
+            self._workers.append(self._spawn_worker(context))
 
     def _stop_pool(self) -> None:
         """Stop every worker, escalating politely: ``stop`` message →
@@ -994,7 +1218,7 @@ class PooledBackend(ServingBackend):
         if delay > 0:
             time.sleep(delay * (1.0 + 0.25 * self._backoff_rng.random()))
         context = multiprocessing.get_context("fork")
-        worker = self._spawn_worker(context, self.planner.truth_cursor())
+        worker = self._spawn_worker(context)
         self._workers = [peer for peer in self._workers if peer.alive] + [worker]
         self.respawns_total += 1
         return worker
@@ -1050,38 +1274,61 @@ class PooledBackend(ServingBackend):
                 self.hung_workers_killed += 1
                 return None
 
-    def _wire_delta(self, cursor: int):
-        """The truths recorded since ``cursor``, in the configured codec.
+    def _wire_delta(self, tenant: str, cursor: int):
+        """One tenant's truths recorded since ``cursor``, in the configured
+        codec.
 
         Columnar deltas cross the pipe as a
-        :class:`~repro.serving.protocol.TruthDeltaBlock`; empty deltas (the
-        steady-state case for workers dispatched every batch) skip encoding
-        entirely, and the pickle fallback ships the objects unchanged.
-        Workers synced to the same point share one encoding: after any
-        batch every participant sits at the same cursor, so the one-entry
-        memo (keyed by cursor + store length — truths are append-only)
-        turns N per-worker encodings of the identical delta into one.
+        :class:`~repro.serving.protocol.TruthDeltaBlock` tagged with the
+        tenant; empty deltas (the steady-state case for workers dispatched
+        every batch) skip encoding entirely, and the pickle fallback ships
+        the objects unchanged.  Workers synced to the same point share one
+        encoding: after any batch every participant sits at the same
+        cursor, so the per-tenant one-entry memo (keyed by cursor + store
+        length — truths are append-only) turns N per-worker encodings of
+        the identical delta into one.
         """
-        delta = self.planner.truth_delta(cursor)
+        planner = self._planner_for(tenant)
+        delta = planner.truth_delta(cursor)
         if not delta or self.truth_wire != "columnar":
             return delta
-        key = (cursor, self.planner.truth_cursor())
-        cached = self._wire_cache
+        key = (cursor, planner.truth_cursor())
+        cached = self._wire_cache.get(tenant)
         if cached is not None and cached[0] == key:
             return cached[1]
-        block = encode_truth_delta(delta, self.planner.network)
-        self._wire_cache = (key, block)
+        block = encode_truth_delta(delta, planner.network, tenant=tenant)
+        self._wire_cache[tenant] = (key, block)
         return block
 
+    def _dispatch_spec(self, worker: _PoolWorker, tenant: str):
+        """The planner spec to ship with a dispatch: the tenant's
+        :class:`~repro.config.PlannerConfig` the first time this worker
+        hears about the tenant, ``None`` once it holds the warm base."""
+        if tenant == DEFAULT_TENANT or tenant in worker.cursors:
+            return None
+        return self._planner_for(tenant).config
+
     def _dispatch(self, worker: _PoolWorker, jobs: List[ShardJob]) -> bool:
-        """Send a run message (with the worker's missing truth deltas)."""
-        if not self._send(worker, ("run", self._wire_delta(worker.cursor), jobs)):
+        """Send a run message (with the worker's missing truth deltas).
+
+        The tenant rides on the jobs themselves (a dispatch never mixes
+        tenants); a worker that predates the tenant's registration gets the
+        planner spec and, via cursor 0, the tenant's whole store as the
+        delta — after which it is as warm as a fork-inherited sibling.
+        """
+        tenant = jobs[0].tenant if jobs else DEFAULT_TENANT
+        spec = self._dispatch_spec(worker, tenant)
+        cursor = worker.cursors.get(tenant, 0)
+        if not self._send(worker, ("run", tenant, spec, self._wire_delta(tenant, cursor), jobs)):
             return False
-        worker.cursor = self.planner.truth_cursor()
+        worker.cursors[tenant] = self._planner_for(tenant).truth_cursor()
         return True
 
     def _run_on_pool(
-        self, jobs: List[ShardJob], chain: Optional[ChainState] = None
+        self,
+        jobs: List[ShardJob],
+        chain: Optional[ChainState] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Tuple[List[ShardOutcome], Set[int], int, bool]:
         """Serve jobs on the pool with dynamic pull dispatch + supervision.
 
@@ -1108,6 +1355,7 @@ class PooledBackend(ServingBackend):
 
         Returns ``(outcomes, resubmitted shard ids, respawns, degraded)``.
         """
+        planner = self._planner_for(tenant)
         outcomes: List[ShardOutcome] = []
         # Queue entries are (job, resubmitted): the flag survives requeues so
         # the final outcome can be attributed to supervision in provenance.
@@ -1178,7 +1426,7 @@ class PooledBackend(ServingBackend):
                     for job, was_resubmitted in remaining:
                         if chain is not None:
                             job.adopt = chain.payload(job)
-                        outcome = execute_shard_job(self.planner, job)
+                        outcome = execute_shard_job(planner, job)
                         outcomes.append(outcome)
                         if chain is not None:
                             chain.record(outcome)
@@ -1240,15 +1488,19 @@ class PooledBackend(ServingBackend):
             raise ServingError(f"shard execution failed in a pool worker:\n{error}")
         return outcomes, resubmitted, respawns, degraded
 
-    def _push_sync(self) -> None:
-        """Stream merged truth deltas to workers that are behind (cadence)."""
-        total = self.planner.truth_cursor()
+    def _push_sync(self, tenant: str = DEFAULT_TENANT) -> None:
+        """Stream one tenant's merged truth deltas to workers that are
+        behind (cadence).  Workers that have never served the tenant are
+        skipped — they warm up lazily at their first dispatch for it."""
+        total = self._planner_for(tenant).truth_cursor()
         synced: List[_PoolWorker] = []
         for worker in self._alive_workers():
-            if worker.cursor >= total:
+            cursor = worker.cursors.get(tenant)
+            if cursor is None or cursor >= total:
                 continue
-            if self._send(worker, ("sync", self._wire_delta(worker.cursor))):
-                worker.cursor = total
+            message = ("sync", tenant, None, self._wire_delta(tenant, cursor))
+            if self._send(worker, message):
+                worker.cursors[tenant] = total
                 synced.append(worker)
         for worker in synced:
             reply = self._recv(worker, deadline_s=self.rpc_deadline_s)
@@ -1295,19 +1547,7 @@ class RecommendationService:
             if config.backend == "inline":
                 backend = InlineBackend()
             else:
-                backend = PooledBackend(
-                    pool_size=config.pool_size,
-                    use_processes=config.use_processes,
-                    merge_every_batches=config.merge_every_batches,
-                    truth_wire=config.truth_wire,
-                    respawn_workers=config.respawn_workers,
-                    heartbeat_interval_s=config.heartbeat_interval_s,
-                    rpc_deadline_s=config.rpc_deadline_s,
-                    max_respawns_per_batch=config.max_respawns_per_batch,
-                    respawn_backoff_s=config.respawn_backoff_s,
-                    respawn_backoff_max_s=config.respawn_backoff_max_s,
-                    max_shard_fraction=config.max_shard_fraction,
-                )
+                backend = PooledBackend.from_config(config)
         backend.bind(planner)
         self.backend = backend
         self._closed = False
@@ -1561,11 +1801,10 @@ class RecommendationService:
         resolved = [
             query.query if isinstance(query, RecommendRequest) else query for query in queries
         ]
-        shards = (
-            self.backend.resolved_pool_size()
-            if isinstance(self.backend, PooledBackend)
-            else 1
-        )
+        # Duck-typed so the tenancy facade (which wraps the shared pool
+        # without subclassing it) plans against the real pool width too.
+        resolver = getattr(self.backend, "resolved_pool_size", None)
+        shards = resolver() if resolver is not None else 1
         plan = self.planner.shard_plan(resolved, shards)
         fraction = getattr(self.backend, "max_shard_fraction", None)
         if fraction is not None:

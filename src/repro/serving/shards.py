@@ -61,7 +61,10 @@ class ShardJob:
     shards); ``adopt`` is filled in by the dispatcher just before the job is
     sent — the upstream hand-off truths (a plain list or a columnar
     :class:`~repro.serving.protocol.TruthDeltaBlock`) the executing clone
-    adopts before running its slice.
+    adopts before running its slice.  ``tenant`` names the workspace whose
+    truth store the job executes against (``""`` is the backend's default,
+    single-tenant planner); pool workers use it to select the matching warm
+    truth base.
     """
 
     shard_id: int
@@ -72,6 +75,7 @@ class ShardJob:
     predecessors: Tuple[int, ...] = ()
     handoff_from: Tuple[int, ...] = ()
     adopt: Optional[object] = None
+    tenant: str = ""
 
 
 @dataclass
@@ -84,6 +88,7 @@ class ShardOutcome:
     statistics_delta: Dict[str, int]
     new_truths: List[VerifiedTruth]
     worker_pid: int
+    tenant: str = ""
 
 
 def build_shard_clone(planner: CrowdPlanner, destination_cells) -> CrowdPlanner:
@@ -116,6 +121,36 @@ def build_shard_clone(planner: CrowdPlanner, destination_cells) -> CrowdPlanner:
     return clone
 
 
+def build_tenant_planner(template: CrowdPlanner, config=None) -> CrowdPlanner:
+    """A workspace planner sharing ``template``'s substrate with its own state.
+
+    Road network, catalogue, sources, task generator, crowd backend and —
+    critically — the *fitted* familiarity model are shared read-only; the
+    truth store, evaluator, worker pool (answer/reward histories) and
+    statistics are fresh, so the tenant starts from an empty truth database
+    but identical serving behaviour.  The familiarity model is **never
+    refitted** here: a refit would read the live worker-pool histories at
+    whatever moment the tenant happens to be built (parent at registration,
+    worker at lazy construction), and the two moments would disagree.
+    Sharing the frozen fit keeps every copy of a tenant's planner — parent
+    and every pool worker — behaviourally identical, which the per-tenant
+    serving contract rests on.
+    """
+    if config is None:
+        config = template.config
+    return CrowdPlanner(
+        network=template.network,
+        catalog=template.catalog,
+        calibrator=template.calibrator,
+        sources=template.sources,
+        worker_pool=copy.deepcopy(template.worker_pool),
+        crowd_backend=template.crowd_backend,
+        config=config,
+        familiarity=template.familiarity,
+        task_generator=template.task_generator,
+    )
+
+
 def execute_shard_job(planner: CrowdPlanner, job: ShardJob) -> ShardOutcome:
     """Execute ``job`` on a fresh clone of ``planner``; the base planner's
     truth store is read, never written.
@@ -140,6 +175,7 @@ def execute_shard_job(planner: CrowdPlanner, job: ShardJob) -> ShardOutcome:
         statistics_delta=clone.statistics.as_dict(),
         new_truths=clone.truths.all()[before:],
         worker_pid=os.getpid(),
+        tenant=job.tenant,
     )
 
 

@@ -1,0 +1,478 @@
+"""Multi-tenant workspaces: isolated truth stores over one shared pool.
+
+A *workspace* is a named, fully isolated serving tenant: it owns its own
+:class:`~repro.core.truth.TruthDatabase`, answer/reward histories, batch
+numbering, and :class:`~repro.serving.journal.TruthJournal` directory.  What
+workspaces share is the expensive part — the scenario substrate (road
+network, landmark catalog, calibrator, crowd backend) and, under the pooled
+backend, one warm :class:`~repro.serving.service.PooledBackend` worker pool.
+
+Layering
+--------
+::
+
+    WorkspaceService ── template planner + shared PooledBackend
+      ├── Workspace "alpha" ── RecommendationService
+      │        planner (own TruthDatabase)      TenantBackend("alpha") ─┐
+      ├── Workspace "beta"  ── RecommendationService                    │
+      │        planner (own TruthDatabase)      TenantBackend("beta") ──┤
+      │                                                                 ▼
+      └── ...                                             shared PooledBackend
+                                                    (per-tenant warm bases in
+                                                     every worker process)
+
+Each :class:`Workspace` wraps a plain
+:class:`~repro.serving.RecommendationService`, so tickets, submission-order
+execution, pipelining, journaling and crash recovery all behave exactly as
+they do single-tenant.  The only difference is the backend:
+:class:`TenantBackend` is a thin facade that tags every batch/window with
+its workspace name before delegating to the shared pool, which routes the
+work against that tenant's planner and truth store (see the tenancy plumbing
+in :mod:`repro.serving.service`).
+
+Isolation contract
+------------------
+For any interleaving of workspaces over one shared pool, every workspace's
+answers, post-batch planner state, and recovered-journal state are
+bit-identical to a dedicated single-tenant service, for every backend, pool
+size, ``pipeline_window`` and ``max_shard_fraction`` — and a worker fault
+inside one tenant's batch never perturbs another tenant's fingerprints.
+The argument lives in ``docs/serving-invariants.md``; the enforcing tests in
+``tests/serving/test_tenancy.py``.
+
+Durability layout
+-----------------
+With a ``journal_root``, each workspace journals under its own
+subdirectory, beside a small manifest that makes the tree self-describing::
+
+    <journal_root>/
+      alpha/
+        workspace.json        # {"name": ..., "planner_config": {...}}
+        journal-00000000.log
+        snapshot-00000001.snap
+      beta/
+        ...
+
+:meth:`WorkspaceService.recover_all` scans the root, rebuilds every
+workspace from its manifest, and replays each journal — restoring every
+tenant to its exact pre-crash truth state and batch numbering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..config import PlannerConfig, ServiceConfig
+from ..core.planner import CrowdPlanner, ShardPlan
+from ..exceptions import ServingError
+from ..routing.base import RouteQuery
+from .journal import TruthJournal
+from .protocol import BatchExecution, RecommendResponse, ServingBackend, Ticket, WindowBatch
+from .service import (
+    InlineBackend,
+    PooledBackend,
+    QueryLike,
+    RecommendationService,
+)
+from .shards import build_tenant_planner
+
+__all__ = [
+    "TenantBackend",
+    "Workspace",
+    "WorkspaceService",
+    "WORKSPACE_MANIFEST",
+    "build_tenant_planner",
+]
+
+#: Manifest file written beside each workspace's journal files.  The journal
+#: itself only touches ``journal-*.log`` / ``snapshot-*.snap`` names, so the
+#: manifest survives compaction untouched.
+WORKSPACE_MANIFEST = "workspace.json"
+
+#: Counter keys of the pool's per-tenant supervision breakdown that map onto
+#: the standard ``supervision_stats`` surface (everything but ``batches``).
+_SUPERVISION_KEYS = (
+    "respawns",
+    "resubmitted_shards",
+    "hung_workers_killed",
+    "degraded_batches",
+)
+
+
+class TenantBackend(ServingBackend):
+    """A workspace's view of the shared pool.
+
+    Binds the workspace's planner to the pool as a named tenant instead of
+    rebinding the pool itself, then delegates batches and windows with the
+    tenant tag attached.  ``name`` stays ``"pooled"`` so response provenance
+    is byte-identical to a dedicated pooled service.
+
+    Closing the facade drops the tenant from the pool (workers forget its
+    warm base) without stopping the pool — other workspaces keep serving.
+    """
+
+    name = "pooled"
+
+    def __init__(self, pool: PooledBackend, tenant: str):
+        super().__init__()
+        if not tenant:
+            raise ServingError("tenant name must be non-empty")
+        self.pool = pool
+        self.tenant = tenant
+
+    # -------------------------------------------------------------- lifecycle
+    def bind(self, planner: CrowdPlanner) -> None:
+        super().bind(planner)
+        self.pool.register_tenant(self.tenant, planner)
+
+    def close(self) -> None:
+        self.pool.drop_tenant(self.tenant)
+
+    # -------------------------------------------------------------- execution
+    def execute_batch(
+        self,
+        queries: Sequence[RouteQuery],
+        share_candidate_generation: bool = True,
+        plan: Optional[ShardPlan] = None,
+    ) -> BatchExecution:
+        return self.pool.execute_batch(
+            queries,
+            share_candidate_generation=share_candidate_generation,
+            plan=plan,
+            tenant=self.tenant,
+        )
+
+    def execute_window(self, batches: Sequence[WindowBatch]) -> List[BatchExecution]:
+        return self.pool.execute_window(batches, tenant=self.tenant)
+
+    # ------------------------------------------------------------ diagnostics
+    def resolved_pool_size(self) -> int:
+        return self.pool.resolved_pool_size()
+
+    @property
+    def max_shard_fraction(self) -> Optional[float]:
+        return self.pool.max_shard_fraction
+
+    def worker_pids(self) -> List[int]:
+        return self.pool.worker_pids()
+
+    def supervision_stats(self) -> Dict[str, int]:
+        """This tenant's share of the pool's supervision counters.
+
+        Faults are attributed to the tenant whose batch was executing when
+        they happened (batches run one at a time on the shared pool), so a
+        fault inside another tenant's batch never shows up here.
+        """
+        stats = self.pool.tenant_stats(self.tenant)
+        return {key: stats[key] for key in _SUPERVISION_KEYS}
+
+    def pipeline_stats(self) -> Dict[str, int]:
+        # Pool-global: windows of every tenant share one DAG dispatcher.
+        return self.pool.pipeline_stats()
+
+    def sharding_stats(self) -> Dict[str, Any]:
+        # Pool-global: the splitting diagnostics track the last batch run.
+        return self.pool.sharding_stats()
+
+
+class Workspace:
+    """One named tenant: an isolated service over the shared substrate.
+
+    Wraps a dedicated :class:`~repro.serving.RecommendationService`, so the
+    full single-tenant surface — ``submit`` / ``results`` / ``drain`` /
+    ``recommend`` / ``recommend_batch`` / ``stream`` / ``statistics`` — is
+    available per workspace with identical semantics.  Attribute access
+    falls through to the wrapped service.
+    """
+
+    def __init__(self, name: str, service: RecommendationService):
+        self.name = name
+        self.service = service
+
+    # ----------------------------------------------------- delegated surface
+    @property
+    def planner(self) -> CrowdPlanner:
+        return self.service.planner
+
+    @property
+    def journal(self) -> Optional[TruthJournal]:
+        return self.service.journal
+
+    @property
+    def closed(self) -> bool:
+        return self.service.closed
+
+    @property
+    def batches_executed(self) -> int:
+        """Batches this workspace has finalised, lifetime — journal-backed
+        numbering means the count survives crash recovery."""
+        return self.service._next_batch_id - 1
+
+    def submit(self, queries, share_candidate_generation=None) -> Ticket:
+        return self.service.submit(queries, share_candidate_generation)
+
+    def results(self, ticket: Union[Ticket, int]) -> List[RecommendResponse]:
+        return self.service.results(ticket)
+
+    def drain(self) -> None:
+        self.service.drain()
+
+    def recommend(self, query: QueryLike) -> RecommendResponse:
+        return self.service.recommend(query)
+
+    def recommend_batch(self, queries, share_candidate_generation=None, plan=None):
+        return self.service.recommend_batch(queries, share_candidate_generation, plan)
+
+    def stream(
+        self, queries: Iterable[QueryLike], batch_size: Optional[int] = None
+    ) -> Iterator[RecommendResponse]:
+        return self.service.stream(queries, batch_size)
+
+    def statistics(self) -> Dict[str, Any]:
+        return self.service.statistics()
+
+    def __getattr__(self, attr: str):
+        return getattr(self.service, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Workspace({self.name!r}, closed={self.closed})"
+
+
+def _validate_workspace_name(name: str) -> None:
+    """A workspace name doubles as its journal directory name."""
+    if not name or name in (".", ".."):
+        raise ServingError(f"invalid workspace name {name!r}")
+    if any(sep in name for sep in ("/", "\\", "\x00")):
+        raise ServingError(
+            f"workspace name {name!r} must not contain path separators"
+        )
+
+
+class WorkspaceService:
+    """Many isolated workspaces over one scenario substrate and worker pool.
+
+    Parameters
+    ----------
+    template:
+        A prepared planner for the scenario.  Workspaces share its substrate
+        (network, catalog, calibrator, crowd backend, **fitted** familiarity
+        model) via :func:`~repro.serving.shards.build_tenant_planner`; each
+        gets its own truth store and histories.
+    config:
+        Serving knobs applied to every workspace (backend, pool size,
+        pipelining, journaling cadence, supervision deadlines).  Defaults to
+        :meth:`ServiceConfig.from_planner_config` of the template's config.
+    journal_root:
+        Directory under which each workspace journals (``<root>/<name>/``,
+        with a ``workspace.json`` manifest).  ``None`` disables durability.
+    pool:
+        An existing :class:`PooledBackend` to share (e.g. the fault-injecting
+        harness).  Built from ``config`` when omitted and the backend is
+        pooled.  The service owns the pool either way and stops it at
+        :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        template: CrowdPlanner,
+        config: Optional[ServiceConfig] = None,
+        journal_root=None,
+        pool: Optional[PooledBackend] = None,
+    ):
+        if config is None:
+            config = ServiceConfig.from_planner_config(template.config)
+        self.template = template
+        self.config = config
+        self.journal_root = Path(journal_root) if journal_root is not None else None
+        self._workspaces: "OrderedDict[str, Workspace]" = OrderedDict()
+        self._closed = False
+        self._pool: Optional[PooledBackend] = None
+        if config.backend == "pooled":
+            if pool is None:
+                pool = PooledBackend.from_config(config)
+            # The pool's default (unnamed) tenant is the template planner;
+            # workspaces register beside it.  Binding must precede the first
+            # fork so workers inherit the substrate.
+            if pool.planner is None:
+                pool.bind(template)
+            self._pool = pool
+        elif pool is not None:
+            raise ServingError("a shared pool requires backend='pooled'")
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def recover_all(
+        cls,
+        template: CrowdPlanner,
+        journal_root,
+        config: Optional[ServiceConfig] = None,
+        pool: Optional[PooledBackend] = None,
+    ) -> "WorkspaceService":
+        """Rebuild every workspace found under ``journal_root`` after a crash.
+
+        Scans the root for subdirectories holding a ``workspace.json``
+        manifest, re-creates each workspace under its recorded
+        :class:`~repro.config.PlannerConfig`, and lets the per-workspace
+        journal replay restore its exact pre-crash truth state and batch
+        numbering.  Workspaces are recovered in name order; new workspaces
+        can be created alongside the recovered ones afterwards.
+        """
+        root = Path(journal_root)
+        service = cls(template, config=config, journal_root=root, pool=pool)
+        if root.is_dir():
+            for entry in sorted(root.iterdir()):
+                manifest = entry / WORKSPACE_MANIFEST
+                if not manifest.is_file():
+                    continue
+                data = json.loads(manifest.read_text())
+                service.create_workspace(
+                    data.get("name", entry.name),
+                    PlannerConfig(**data["planner_config"]),
+                )
+        return service
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every workspace (journals included), then stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for workspace in self._workspaces.values():
+            workspace.service.close()
+        self._workspaces.clear()
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "WorkspaceService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServingError("the workspace service is closed")
+
+    # ------------------------------------------------------------ workspaces
+    def create_workspace(
+        self, name: str, planner_config: Optional[PlannerConfig] = None
+    ) -> Workspace:
+        """Open a new isolated workspace on the shared substrate.
+
+        ``planner_config`` defaults to the template's; a different one
+        changes the workspace's planning thresholds without refitting the
+        shared familiarity model (see
+        :func:`~repro.serving.shards.build_tenant_planner`).  With a
+        ``journal_root``, the workspace's journal directory and manifest are
+        created — reopening a name whose directory already holds a journal
+        replays it (that is how :meth:`recover_all` restores state).
+        """
+        self._ensure_open()
+        _validate_workspace_name(name)
+        if name in self._workspaces:
+            raise ServingError(f"workspace {name!r} already exists")
+        if planner_config is None:
+            planner_config = self.config.planner_config()
+        planner = build_tenant_planner(self.template, planner_config)
+        journal_path: Optional[str] = None
+        if self.journal_root is not None:
+            directory = self.journal_root / name
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / WORKSPACE_MANIFEST).write_text(
+                json.dumps(
+                    {"name": name, "planner_config": planner_config.to_dict()},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            journal_path = str(directory)
+        workspace_config = self._workspace_config(planner_config, journal_path)
+        if self._pool is not None:
+            backend: ServingBackend = TenantBackend(self._pool, name)
+        else:
+            backend = InlineBackend()
+        service = RecommendationService(planner, config=workspace_config, backend=backend)
+        workspace = Workspace(name, service)
+        self._workspaces[name] = workspace
+        return workspace
+
+    def _workspace_config(
+        self, planner_config: PlannerConfig, journal_path: Optional[str]
+    ) -> ServiceConfig:
+        """The template's serving knobs over the workspace's planner knobs."""
+        planner_fields = {field.name for field in dataclasses.fields(PlannerConfig)}
+        serving = {
+            field.name: getattr(self.config, field.name)
+            for field in dataclasses.fields(ServiceConfig)
+            if field.name not in planner_fields
+        }
+        serving["journal_path"] = journal_path
+        return ServiceConfig.from_planner_config(planner_config, **serving)
+
+    def workspace(self, name: str) -> Workspace:
+        """Look an open workspace up by name."""
+        self._ensure_open()
+        try:
+            return self._workspaces[name]
+        except KeyError:
+            raise ServingError(f"unknown workspace {name!r}") from None
+
+    def list_workspaces(self) -> List[str]:
+        """Names of the open workspaces, in creation order."""
+        return list(self._workspaces)
+
+    def close_workspace(self, name: str) -> None:
+        """Close one workspace: its journal closes, the pool forgets its
+        warm bases, and the name becomes available again — a later
+        ``create_workspace(name)`` over the same ``journal_root`` resumes
+        from its journal."""
+        self._ensure_open()
+        workspace = self._workspaces.pop(name, None)
+        if workspace is None:
+            raise ServingError(f"unknown workspace {name!r}")
+        workspace.service.close()
+
+    # ------------------------------------------------------------ diagnostics
+    def statistics(self) -> Dict[str, Any]:
+        """Per-workspace breakdown plus the shared pool's aggregates.
+
+        ``workspaces`` maps each open workspace to its lifetime batch count,
+        current truth-store size, attributed worker respawns, and on-disk
+        journal footprint; ``pool`` (pooled backend only) carries the
+        pool-global supervision/pipeline/sharding counters and the
+        per-tenant supervision attribution.
+        """
+        report: Dict[str, Any] = {"workspaces": {}}
+        for name, workspace in self._workspaces.items():
+            entry = {
+                "batches": workspace.batches_executed,
+                "truths": workspace.planner.truth_cursor(),
+                "respawns": 0,
+                "journal_bytes": 0,
+            }
+            if self._pool is not None:
+                entry["respawns"] = self._pool.tenant_stats(name)["respawns"]
+            journal = workspace.journal
+            if journal is not None:
+                entry["journal_bytes"] = journal.disk_bytes
+            report["workspaces"][name] = entry
+        if self._pool is not None:
+            report["pool"] = {
+                "workers": self._pool.worker_pids(),
+                "supervision": dict(self._pool.supervision_stats()),
+                "pipeline": dict(self._pool.pipeline_stats()),
+                "sharding": dict(self._pool.sharding_stats()),
+                "tenants": self._pool.tenant_stats(),
+            }
+        return report
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the shared pool's live workers (empty when inline)."""
+        return self._pool.worker_pids() if self._pool is not None else []

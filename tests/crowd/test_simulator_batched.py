@@ -85,6 +85,80 @@ class TestBatchedEquivalence:
         assert len(crowd._truth_cache) == 1
 
 
+class TestPopulationAccuracies:
+    """The population-level matrix is a pure cache: slices must be
+    bit-identical to the per-task evaluation it replaces."""
+
+    def test_responses_identical_to_per_task_path(self, scenario, crowd_tasks):
+        worker_ids = scenario.worker_pool.ids()
+        population = _fresh_crowd(scenario, 23)
+        population.refresh_population_accuracies()
+        assert population._population is not None
+        oracle = _fresh_crowd(scenario, 23)
+        oracle.use_population_accuracies = False
+        for task in crowd_tasks:
+            assert population.collect_responses(task, worker_ids) == (
+                oracle.collect_responses(task, worker_ids)
+            )
+
+    def test_slices_bit_identical_to_per_task_matrix(self, scenario, crowd_tasks):
+        crowd = _fresh_crowd(scenario, 29)
+        crowd.refresh_population_accuracies()
+        workers = scenario.worker_pool.workers()[:7]
+        for task in crowd_tasks:
+            tree = crowd._compiled_tree(task)
+            sliced = crowd._crew_accuracies(tree, workers)
+            direct = crowd.behavior.answer_accuracies_matrix(
+                workers, tree.xs, tree.ys
+            ).tolist()
+            assert sliced == direct
+
+    def test_no_per_task_numpy_dispatch_after_refresh(
+        self, scenario, crowd_tasks, monkeypatch
+    ):
+        from repro.crowd.behavior import AnswerBehaviorModel
+
+        crowd = _fresh_crowd(scenario, 31)
+        calls = []
+        original = AnswerBehaviorModel.answer_accuracies_matrix
+
+        def counting(self, workers, xs, ys):
+            calls.append(len(workers))
+            return original(self, workers, xs, ys)
+
+        monkeypatch.setattr(AnswerBehaviorModel, "answer_accuracies_matrix", counting)
+        crowd.refresh_population_accuracies()
+        assert len(calls) == 1  # the single population-wide evaluation
+        for task in crowd_tasks:
+            crowd.collect_responses(task, scenario.worker_pool.ids())
+        assert len(calls) == 1  # every crew row came from the population slice
+
+    def test_unknown_landmark_falls_back_to_per_task(self, scenario, crowd_tasks):
+        worker_ids = scenario.worker_pool.ids()[:5]
+        crowd = _fresh_crowd(scenario, 37)
+        crowd.refresh_population_accuracies()
+        worker_rows, landmark_cols = crowd._population
+        task = crowd_tasks[0]
+        tree = crowd._compiled_tree(task)
+        # Drop one questioned landmark from the matrix: the slice must give
+        # way to the per-task evaluation, not mis-index.
+        stale_cols = {
+            lid: col for lid, col in landmark_cols.items() if lid != tree.landmark_ids[0]
+        }
+        crowd._population = (worker_rows, stale_cols)
+        oracle = _fresh_crowd(scenario, 37)
+        oracle.use_population_accuracies = False
+        assert crowd.collect_responses(task, worker_ids) == (
+            oracle.collect_responses(task, worker_ids)
+        )
+
+    def test_knob_off_disables_the_matrix(self, scenario):
+        crowd = _fresh_crowd(scenario, 41)
+        crowd.use_population_accuracies = False
+        crowd.refresh_population_accuracies()
+        assert crowd._population is None
+
+
 class TestVectorizedAccuracies:
     def test_matches_scalar_model(self, scenario):
         behavior = scenario.crowd.behavior

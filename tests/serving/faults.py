@@ -39,7 +39,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.serving.service import PooledBackend, _PoolWorker
+from repro.serving.service import DEFAULT_TENANT, PooledBackend, _PoolWorker
 
 #: Supervision knobs tight enough for fast tests: a hung worker is declared
 #: dead within ~0.6 s and respawn backoff adds at most ~0.1 s per fork.
@@ -107,9 +107,13 @@ class FaultInjectingBackend(PooledBackend):
             time.sleep(self.delay_s)
             return super()._dispatch(worker, jobs)
         if fault == "desync":
-            if not self._send(worker, ("run", _PoisonDelta(), jobs)):
+            # Mirror the real dispatch's tenant threading so the fault lands
+            # in the right workspace's stream (and only there).
+            tenant = jobs[0].tenant if jobs else DEFAULT_TENANT
+            spec = self._dispatch_spec(worker, tenant)
+            if not self._send(worker, ("run", tenant, spec, _PoisonDelta(), jobs)):
                 return False
-            worker.cursor = self.planner.truth_cursor()
+            worker.cursors[tenant] = self._planner_for(tenant).truth_cursor()
             return True
         raise AssertionError(f"unknown fault kind {fault!r}")
 

@@ -184,6 +184,33 @@ class TestJournalUnit:
         assert _truth_keys(store) == _truth_keys(planner.truths)
         reopened.close()
 
+    def test_disk_bytes_tracks_files_incrementally(self, tmp_path, recorded_truths):
+        planner, truths = recorded_truths
+
+        def on_disk():
+            return sum(
+                entry.stat().st_size
+                for entry in (tmp_path / "j").iterdir()
+                if entry.suffix in (".log", ".snap")
+            )
+
+        with TruthJournal(tmp_path / "j", snapshot_every_truths=10_000) as journal:
+            assert journal.disk_bytes == on_disk()
+            journal.append(truths[:2], planner.truths, meta={"batch_id": 1})
+            assert journal.disk_bytes == on_disk()
+            journal.append([], planner.truths, meta={"batch_id": 2})
+            assert journal.disk_bytes == on_disk()
+            # Compaction rewrites the footprint: snapshot + empty segment.
+            journal.snapshot(planner.truths)
+            assert journal.disk_bytes == on_disk()
+            stats = journal.stats()
+            assert stats["disk_bytes"] == journal.disk_bytes
+            assert stats["generation"] == journal.generation
+
+        reopened = TruthJournal(tmp_path / "j")
+        assert reopened.disk_bytes == on_disk()
+        reopened.close()
+
     def test_closed_and_invalid_journals_raise(self, tmp_path, recorded_truths):
         planner, truths = recorded_truths
         journal = TruthJournal(tmp_path / "j")
