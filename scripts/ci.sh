@@ -6,6 +6,9 @@
 #                            # benchmark code is exercised for correctness
 #                            # without paying for timed rounds)
 #   scripts/ci.sh --all      # full tier: every test including @slow
+#   scripts/ci.sh --chaos    # only the @chaos fault-injection suites
+#                            # (hedged stragglers, supervision, recovery):
+#                            # the fast standalone smoke leg CI runs per PR
 #   scripts/ci.sh --bench    # additionally run the timed benchmarks into
 #                            # bench_candidate.json and gate the measured
 #                            # speedups against the committed
@@ -25,14 +28,22 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 run_all=0
 run_bench=0
 run_cov=0
+run_chaos=0
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=1 ;;
         --bench) run_bench=1 ;;
+        --chaos) run_chaos=1 ;;
         --cov) run_cov=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+if [[ "$run_chaos" == 1 ]]; then
+    echo "== chaos smoke (fault injection, fast tier) =="
+    python -m pytest -x -q -m "chaos and not slow"
+    exit 0
+fi
 
 cov_args=()
 if [[ "$run_cov" == 1 ]]; then

@@ -147,6 +147,10 @@ SERVING_BACKENDS = ("inline", "pooled")
 #: backend ships parent→worker truth deltas.
 TRUTH_WIRE_FORMATS = ("columnar", "pickle")
 
+#: Policies accepted by :attr:`ServiceConfig.journal_on_error` — what the
+#: service does when the journal hits a disk error (ENOSPC, EIO, ...).
+JOURNAL_ON_ERROR_MODES = ("raise", "suspend")
+
 
 @dataclass(frozen=True)
 class ServiceConfig(PlannerConfig):
@@ -233,6 +237,25 @@ class ServiceConfig(PlannerConfig):
         and its in-flight shard resubmitted.  Must exceed
         ``heartbeat_interval_s`` with margin; only latency (never results)
         depends on it.
+    hedge_after_s:
+        Straggler budget for hedged execution.  A dispatched shard whose
+        wall-clock exceeds this budget while its worker still heartbeats
+        (slow, not hung) is speculatively re-dispatched to an idle worker;
+        the first outcome wins and the duplicate is discarded by shard id.
+        Safe because the crowd RNG is content-keyed, so duplicate outcomes
+        are bit-identical — only latency depends on the hedge.  The
+        overtaken worker is given ``rpc_deadline_s`` (non-renewable) to
+        finish its stale reply before being killed.  ``None`` (the
+        default) disables hedging.
+    journal_on_error:
+        Degrade ladder for journal disk faults (``OSError`` on append or
+        snapshot — ENOSPC, EIO, ...): ``"raise"`` (the default) surfaces
+        the fault as a :class:`~repro.exceptions.JournalError` and fails
+        the batch; ``"suspend"`` stops journaling, marks the service
+        degraded (``statistics()["resilience"]["journal_suspended"]``) and
+        keeps serving — ``recover`` then replays to the last *durable*
+        batch, and the driver re-submits the rest, exactly as after a
+        torn tail.  Answers never depend on the mode.
     max_respawns_per_batch:
         Circuit breaker of the mid-batch supervisor: after this many
         worker respawns within one batch, the backend stops re-forking and
@@ -278,6 +301,8 @@ class ServiceConfig(PlannerConfig):
     snapshot_every_truths: int = 512
     heartbeat_interval_s: float = 0.5
     rpc_deadline_s: float = 8.0
+    hedge_after_s: Optional[float] = None
+    journal_on_error: str = "raise"
     max_respawns_per_batch: int = 2
     respawn_backoff_s: float = 0.05
     respawn_backoff_max_s: float = 1.0
@@ -295,6 +320,15 @@ class ServiceConfig(PlannerConfig):
             raise ConfigurationError(
                 "rpc_deadline_s must exceed heartbeat_interval_s (a busy worker "
                 "is only as fresh as its last heartbeat)"
+            )
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ConfigurationError(
+                "hedge_after_s must be positive (or None to disable hedging)"
+            )
+        if self.journal_on_error not in JOURNAL_ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"journal_on_error must be one of {JOURNAL_ON_ERROR_MODES}, "
+                f"got {self.journal_on_error!r}"
             )
         if self.max_respawns_per_batch < 0:
             raise ConfigurationError("max_respawns_per_batch must be non-negative")

@@ -88,6 +88,23 @@ class ServingError(CrowdPlannerError):
     unknown or already-collected ticket, full submission queue, dead pool)."""
 
 
+class OverloadError(ServingError):
+    """Submission shed by admission control: the pending queue is full or a
+    requested deadline cannot be met at current throughput.  Raised by
+    :meth:`RecommendationService.submit` *before* any side effect, so the
+    caller may retry, back off, or route the batch elsewhere."""
+
+
 class JournalError(ServingError):
     """Invalid interaction with the truth journal (unusable directory,
     incompatible codec, appending to a closed journal)."""
+
+
+class WorkspaceManifestError(ServingError):
+    """A workspace's on-disk manifest (``workspace.json``) is missing fields,
+    corrupt, or not JSON at all.  Carries the workspace directory so an
+    operator knows exactly which tenant's state to inspect."""
+
+    def __init__(self, directory, message: str):
+        self.directory = directory
+        super().__init__(f"workspace manifest {str(directory)!r}: {message}")

@@ -310,6 +310,16 @@ class ServingBackend(abc.ABC):
             "sub_shards_total": 0,
         }
 
+    def resilience_stats(self) -> Dict[str, int]:
+        """Hedged-execution counters (all zero for in-process backends,
+        which have no stragglers to hedge against)."""
+        return {
+            "hedges_issued": 0,
+            "hedges_won": 0,
+            "hedges_wasted": 0,
+            "stragglers_killed": 0,
+        }
+
     def close(self) -> None:
         """Release any long-lived resources (idempotent)."""
 

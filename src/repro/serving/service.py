@@ -48,13 +48,14 @@ import random
 import threading
 import time
 import traceback
+import warnings
 from collections import OrderedDict, deque
 from multiprocessing.connection import wait as mp_wait
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..config import TRUTH_WIRE_FORMATS, ServiceConfig
 from ..core.planner import CrowdPlanner, ShardPlan
-from ..exceptions import ServingError
+from ..exceptions import JournalError, OverloadError, ServingError
 from ..routing.base import RouteQuery
 from .journal import TruthJournal
 from .pipeline import batch_dependencies, window_parallelism
@@ -352,6 +353,7 @@ class PooledBackend(ServingBackend):
         respawn_backoff_s: float = 0.05,
         respawn_backoff_max_s: float = 1.0,
         max_shard_fraction: Optional[float] = None,
+        hedge_after_s: Optional[float] = None,
     ):
         super().__init__()
         if pool_size is not None and pool_size < 1:
@@ -374,6 +376,8 @@ class PooledBackend(ServingBackend):
             raise ServingError(
                 "respawn backoff must be non-negative and bounded by its maximum"
             )
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ServingError("hedge_after_s must be positive (or None to disable)")
         self.pool_size = pool_size
         self.use_processes = use_processes
         self.persistent = persistent
@@ -386,12 +390,28 @@ class PooledBackend(ServingBackend):
         self.respawn_backoff_s = respawn_backoff_s
         self.respawn_backoff_max_s = respawn_backoff_max_s
         self.max_shard_fraction = max_shard_fraction
+        self.hedge_after_s = hedge_after_s
         self.batches_executed = 0
         # Lifetime supervision counters (surfaced by ``supervision_stats``).
         self.respawns_total = 0
         self.resubmitted_shards_total = 0
         self.hung_workers_killed = 0
         self.degraded_batches = 0
+        # Hedged-execution counters (surfaced by ``resilience_stats``):
+        # speculative duplicate dispatches against slow-but-alive workers,
+        # how many finished first (won) vs were overtaken by the original
+        # (wasted), and stragglers killed for breaching ``rpc_deadline_s``
+        # on top of losing their hedge race.
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_wasted = 0
+        self.stragglers_killed = 0
+        # Workers overtaken by a hedge ("lame"): each still owes one stale
+        # reply under the strict request/reply protocol, so it is excluded
+        # from dispatch and sync until drained.  Value = the hard,
+        # non-heartbeat-renewable deadline (monotonic) after which the
+        # crawler is killed (see ``_poll_lame``).
+        self._lame: Dict[_PoolWorker, float] = {}
         # Pipelining counters (surfaced by ``pipeline_stats``): windows run
         # through the DAG dispatcher, and dispatches that actually overlapped
         # batch boundaries (a shard sent while an earlier batch was unmerged).
@@ -439,6 +459,7 @@ class PooledBackend(ServingBackend):
             respawn_backoff_s=config.respawn_backoff_s,
             respawn_backoff_max_s=config.respawn_backoff_max_s,
             max_shard_fraction=config.max_shard_fraction,
+            hedge_after_s=config.hedge_after_s,
         )
 
     # -------------------------------------------------------------- plumbing
@@ -493,41 +514,52 @@ class PooledBackend(ServingBackend):
         except KeyError:
             raise ServingError(f"unknown tenant {tenant!r}") from None
 
+    #: Counters attributed per tenant by ``_attribute_counters`` — the order
+    #: must match ``_counter_snapshot``.
+    _ATTRIBUTED_COUNTERS = (
+        "respawns",
+        "resubmitted_shards",
+        "hung_workers_killed",
+        "degraded_batches",
+        "hedges_issued",
+        "hedges_won",
+        "hedges_wasted",
+        "stragglers_killed",
+    )
+
     def _tenant_counters(self, tenant: str) -> Dict[str, int]:
         return self._tenant_stats.setdefault(
             tenant,
-            {
-                "batches": 0,
-                "respawns": 0,
-                "resubmitted_shards": 0,
-                "hung_workers_killed": 0,
-                "degraded_batches": 0,
-            },
+            dict({"batches": 0}, **{key: 0 for key in self._ATTRIBUTED_COUNTERS}),
         )
 
-    def _counter_snapshot(self) -> Tuple[int, int, int, int]:
+    def _counter_snapshot(self) -> Tuple[int, ...]:
         return (
             self.respawns_total,
             self.resubmitted_shards_total,
             self.hung_workers_killed,
             self.degraded_batches,
+            self.hedges_issued,
+            self.hedges_won,
+            self.hedges_wasted,
+            self.stragglers_killed,
         )
 
     def _attribute_counters(
-        self, tenant: str, before: Tuple[int, int, int, int], batches: int
+        self, tenant: str, before: Tuple[int, ...], batches: int
     ) -> None:
         """Attribute the supervision counter deltas since ``before`` to one
         tenant.  Sound because batches/windows execute one at a time on the
-        shared pool: every respawn, resubmission, hang-kill or degrade
-        between the snapshots happened inside this tenant's work."""
+        shared pool: every respawn, resubmission, hang-kill, degrade or
+        hedge between the snapshots happened inside this tenant's work.
+        (A lame straggler killed at a *later* batch edge charges its kill
+        to the tenant running then; hedges issued/won/wasted are always
+        counted inside the batch that raced them, so those attribute
+        exactly.)"""
         after = self._counter_snapshot()
         stats = self._tenant_counters(tenant)
         stats["batches"] += batches
-        for key, start, end in zip(
-            ("respawns", "resubmitted_shards", "hung_workers_killed", "degraded_batches"),
-            before,
-            after,
-        ):
+        for key, start, end in zip(self._ATTRIBUTED_COUNTERS, before, after):
             stats[key] += end - start
 
     def tenant_stats(self, tenant: Optional[str] = None):
@@ -571,6 +603,14 @@ class PooledBackend(ServingBackend):
             "chain_depth": self.last_chain_depth,
             "max_chain_depth": self.max_chain_depth,
             "sub_shards_total": self.sub_shards_total,
+        }
+
+    def resilience_stats(self) -> Dict[str, int]:
+        return {
+            "hedges_issued": self.hedges_issued,
+            "hedges_won": self.hedges_won,
+            "hedges_wasted": self.hedges_wasted,
+            "stragglers_killed": self.stragglers_killed,
         }
 
     def close(self) -> None:
@@ -654,6 +694,7 @@ class PooledBackend(ServingBackend):
             # warm state is what the batch runs on).
             warm = not self._ensure_pool()
             if warm:
+                self._poll_lame()
                 self._respawn_dead()
             try:
                 chain = ChainState(jobs, handoff_id_base(), self._chain_encoder())
@@ -776,6 +817,7 @@ class PooledBackend(ServingBackend):
 
         warm = not self._ensure_pool()
         if warm:
+            self._poll_lame()
             self._respawn_dead()
         batches_before = self.batches_executed
         executions = self._run_window(
@@ -876,6 +918,11 @@ class PooledBackend(ServingBackend):
         respawns = 0
         degraded = False
         error: Optional[str] = None
+        # Hedging state (see ``_run_on_pool``); shard ids are per-batch, so
+        # duplicates are keyed ``(batch_index, shard_id)`` here.
+        completed: Set[Tuple[int, int]] = set()
+        hedge_workers: Set[_PoolWorker] = set()
+        dispatched_at: Dict[_PoolWorker, float] = {}
 
         # Entries are (batch_index, job, resubmitted).
         ready: "deque[Tuple[int, ShardJob, bool]]" = deque()
@@ -911,6 +958,7 @@ class PooledBackend(ServingBackend):
                     blocked.setdefault(dep, []).append((batch_index, job, False))
 
         def record(batch_index: int, outcomes, was_resubmitted: bool, shard_id: int) -> None:
+            completed.add((batch_index, shard_id))
             done[batch_index].extend(outcomes)
             last_done[batch_index] = time.perf_counter()
             if was_resubmitted:
@@ -968,29 +1016,54 @@ class PooledBackend(ServingBackend):
                     release(entry)
 
         def lost(entry: Tuple[int, ShardJob, bool]) -> None:
-            """Requeue a dead worker's shard and try to restore capacity."""
+            """Requeue a dead worker's shard and try to restore capacity.
+
+            With hedging, the shard may already be recorded or still
+            covered by a surviving duplicate dispatch — requeuing then
+            would double-serve it and break the merge accounting."""
             nonlocal respawns
-            # Front of the queue: the frontier may be waiting on this shard,
-            # and its dependency is already satisfied.
-            ready.appendleft((entry[0], entry[1], True))
-            self.resubmitted_shards_total += 1
+            key = (entry[0], entry[1].shard_id)
+            covered = key in completed or any(
+                (peer[0], peer[1].shard_id) == key for peer in inflight.values()
+            )
+            if not covered:
+                # Front of the queue: the frontier may be waiting on this
+                # shard, and its dependency is already satisfied.
+                ready.appendleft((entry[0], entry[1], True))
+                self.resubmitted_shards_total += 1
             if self._mid_batch_respawn(respawns) is not None:
                 respawns += 1
+
+        def retire_losers(key: Tuple[int, int]) -> None:
+            """Move every other in-flight dispatch of a won shard to lame."""
+            for peer in [
+                peer
+                for peer, peer_entry in inflight.items()
+                if (peer_entry[0], peer_entry[1].shard_id) == key
+            ]:
+                del inflight[peer]
+                dispatched_at.pop(peer, None)
+                if peer in hedge_workers:
+                    hedge_workers.discard(peer)
+                    self.hedges_wasted += 1
+                self._retire_to_lame(peer)
 
         merge_frontier()  # zero-shard batches at the head merge immediately
 
         inflight: Dict[_PoolWorker, Tuple[int, ShardJob, bool]] = {}
         while ((ready or blocked or chain_blocked) and error is None) or inflight:
+            self._poll_lame()
             if error is None:
                 for worker in self._alive_workers():
                     if not ready:
                         break
-                    if worker in inflight:
+                    if worker in inflight or worker in self._lame:
                         continue
                     entry = ready.popleft()
                     entry[1].adopt = chains[entry[0]].payload(entry[1])
                     if self._dispatch(worker, [entry[1]]):
                         worker.touch()
+                        dispatched_at[worker] = time.monotonic()
                         if first_dispatch[entry[0]] is None:
                             first_dispatch[entry[0]] = time.perf_counter()
                         if entry[0] > merged:
@@ -1000,6 +1073,14 @@ class PooledBackend(ServingBackend):
                         inflight[worker] = entry
                     else:
                         ready.appendleft(entry)
+                if self.hedge_after_s is not None and not ready and inflight:
+                    self._hedge_stragglers(
+                        inflight,
+                        dispatched_at,
+                        hedge_workers,
+                        key_of=lambda e: (e[0], e[1].shard_id),
+                        job_of=lambda e: e[1],
+                    )
                 if (
                     (ready or blocked or chain_blocked)
                     and not inflight
@@ -1055,10 +1136,16 @@ class PooledBackend(ServingBackend):
                             "window dispatch deadlocked on the sub-shard chain"
                         )
             if not inflight:
+                if self._lame:
+                    # Nothing in flight but a crawler still owes a reply:
+                    # yield briefly instead of hot-spinning on _poll_lame.
+                    time.sleep(0.005)
                 continue
             wait_ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
             now = time.monotonic()
             for worker in list(inflight):
+                if worker not in inflight:
+                    continue  # retired to lame by an earlier win this sweep
                 if worker.conn in wait_ready:
                     try:
                         reply = worker.conn.recv()
@@ -1068,15 +1155,29 @@ class PooledBackend(ServingBackend):
                         worker.touch()
                         continue
                     entry = inflight.pop(worker)
+                    dispatched_at.pop(worker, None)
                     if reply is None:
                         worker.mark_dead()
+                        hedge_workers.discard(worker)
                         lost(entry)
                     elif reply[0] == "done":
                         worker.touch()
+                        key = (entry[0], entry[1].shard_id)
+                        if key in completed:
+                            # Stale duplicate of an already-recorded shard:
+                            # bit-identical by the content-keyed crowd RNG,
+                            # so discarding it is a pure no-op.
+                            hedge_workers.discard(worker)
+                            continue
+                        if worker in hedge_workers:
+                            hedge_workers.discard(worker)
+                            self.hedges_won += 1
+                        retire_losers(key)
                         record(entry[0], reply[2], entry[2], entry[1].shard_id)
                         merge_frontier()
                     elif reply[0] == "desync":
                         worker.mark_dead()
+                        hedge_workers.discard(worker)
                         lost(entry)
                     elif reply[0] == "error":
                         error = error or str(reply[2])
@@ -1084,10 +1185,14 @@ class PooledBackend(ServingBackend):
                         error = error or f"unexpected pool reply {reply[0]!r}"
                 elif not worker.process.is_alive():
                     worker.mark_dead()
+                    hedge_workers.discard(worker)
+                    dispatched_at.pop(worker, None)
                     lost(inflight.pop(worker))
                 elif now - worker.last_heard > self.rpc_deadline_s:
                     self._kill_worker(worker)
                     self.hung_workers_killed += 1
+                    hedge_workers.discard(worker)
+                    dispatched_at.pop(worker, None)
                     lost(inflight.pop(worker))
         if degraded:
             self.degraded_batches += 1
@@ -1183,6 +1288,7 @@ class PooledBackend(ServingBackend):
                 worker.process.join(timeout=1.0)
             worker.mark_dead()
         self._workers = []
+        self._lame.clear()
 
     def _kill_worker(self, worker: _PoolWorker) -> None:
         """Forcibly retire one worker (SIGKILL works even on a SIGSTOP'd
@@ -1225,6 +1331,121 @@ class PooledBackend(ServingBackend):
 
     def _alive_workers(self) -> List[_PoolWorker]:
         return [worker for worker in self._workers if worker.alive]
+
+    # ------------------------------------------------------ hedged execution
+    def _retire_to_lame(self, worker: _PoolWorker) -> None:
+        """Park the loser of a hedged pair until its stale reply drains.
+
+        The strict request/reply protocol means an outstanding reply must be
+        drained (or the worker killed) before the worker can be reused — but
+        the *batch* need not wait for it: the shard's winning outcome is
+        already recorded, so the worker leaves the in-flight set and the
+        dispatcher moves on.  Unlike the supervision deadline, the lame
+        deadline is **not** renewed by heartbeats: the crawler gets
+        ``rpc_deadline_s`` of wall-clock on top of losing the race, then is
+        killed (``stragglers_killed``)."""
+        self._lame[worker] = time.monotonic() + self.rpc_deadline_s
+
+    def _poll_lame(self) -> None:
+        """Drain, recycle or retire lame workers (non-blocking).
+
+        A stale ``done`` whose shard already merged is discarded — safe
+        because the content-keyed crowd RNG makes the duplicate outcome
+        bit-identical to the one already recorded — and the worker, whose
+        warm base is intact, returns to service.  A stale ``desync`` or
+        ``error`` retires the worker.  Crossing the hard deadline kills it:
+        at that point it has breached ``rpc_deadline_s`` on top of losing
+        its hedge race, so it is treated as hung, not slow."""
+        if not self._lame:
+            return
+        now = time.monotonic()
+        for worker, deadline in list(self._lame.items()):
+            if not worker.alive:
+                del self._lame[worker]
+                continue
+            reply = None
+            try:
+                while worker.conn.poll(0):
+                    reply = worker.conn.recv()
+                    if reply[0] != "beat":
+                        break
+                    reply = None
+            except (EOFError, OSError):
+                worker.mark_dead()
+                del self._lame[worker]
+                continue
+            if reply is not None:
+                del self._lame[worker]
+                if reply[0] != "done":
+                    # A stale desync/error: its warm base is suspect.
+                    worker.mark_dead()
+            elif not worker.process.is_alive():
+                worker.mark_dead()
+                del self._lame[worker]
+            elif now > deadline:
+                self._kill_worker(worker)
+                self.stragglers_killed += 1
+                del self._lame[worker]
+
+    def _hedge_stragglers(
+        self,
+        inflight: Dict[_PoolWorker, Any],
+        dispatched_at: Dict[_PoolWorker, float],
+        hedge_workers: Set[_PoolWorker],
+        key_of=None,
+        job_of=None,
+    ) -> None:
+        """Speculatively duplicate overdue dispatches onto idle workers.
+
+        Called by both dispatchers once their queues are empty but workers
+        idle: any in-flight shard whose wall-clock exceeds ``hedge_after_s``
+        — its worker still heartbeating, so the hang supervisor will never
+        fire — is re-dispatched (same job object, same memoised hand-off
+        payload) to an idle worker.  First outcome wins; the loser goes
+        lame (see ``_retire_to_lame``).  One hedge per shard: racing more
+        than two copies buys nothing the content-keyed RNG has not already
+        guaranteed.  ``key_of`` identifies a shard across duplicate entries
+        (``(batch, shard_id)`` under windows), ``job_of`` extracts the
+        :class:`ShardJob` from a dispatcher entry.
+        """
+        if key_of is None:
+            key_of = lambda entry: entry[0].shard_id  # noqa: E731
+        if job_of is None:
+            job_of = lambda entry: entry[0]  # noqa: E731
+        idle = [
+            worker
+            for worker in self._alive_workers()
+            if worker not in inflight and worker not in self._lame
+        ]
+        if not idle:
+            return
+        now = time.monotonic()
+        overdue = sorted(
+            (
+                (started, worker)
+                for worker, started in dispatched_at.items()
+                if worker in inflight
+                and worker not in hedge_workers
+                and now - started > self.hedge_after_s
+            ),
+            key=lambda item: item[0],  # oldest first: it gates the batch
+        )
+        for _, straggler in overdue:
+            entry = inflight[straggler]
+            key = key_of(entry)
+            if sum(1 for peer in inflight.values() if key_of(peer) == key) > 1:
+                continue  # already hedged
+            while idle:
+                worker = idle.pop(0)
+                if self._dispatch(worker, [job_of(entry)]):
+                    worker.touch()
+                    inflight[worker] = entry
+                    dispatched_at[worker] = now
+                    hedge_workers.add(worker)
+                    self.hedges_issued += 1
+                    break
+            if not idle:
+                return
 
     def _send(self, worker: _PoolWorker, message) -> bool:
         if not worker.alive:
@@ -1371,6 +1592,12 @@ class PooledBackend(ServingBackend):
         resubmitted: Set[int] = set()
         respawns = 0
         degraded = False
+        # Hedging state: shards with a recorded outcome (duplicates discard
+        # against this), workers whose in-flight dispatch is the speculative
+        # copy, and per-dispatch wall-clock starts for the hedge budget.
+        completed: Set[int] = set()
+        hedge_workers: Set[_PoolWorker] = set()
+        dispatched_at: Dict[_PoolWorker, float] = {}
 
         def release_chain_ready() -> None:
             """Move sub-shards whose hand-off just completed to the queue."""
@@ -1385,19 +1612,45 @@ class PooledBackend(ServingBackend):
             chain_blocked[:] = still
 
         def lost(entry: Tuple[ShardJob, bool]) -> None:
-            """Requeue a dead worker's job and try to restore capacity."""
+            """Requeue a dead worker's job and try to restore capacity.
+
+            With hedging, the shard may already be served (completed) or
+            still covered by its surviving duplicate dispatch — requeuing
+            would double-serve it, so only truly orphaned shards requeue."""
             nonlocal respawns
-            queue.append((entry[0], True))
-            self.resubmitted_shards_total += 1
+            shard_id = entry[0].shard_id
+            covered = shard_id in completed or any(
+                peer_entry[0].shard_id == shard_id for peer_entry in inflight.values()
+            )
+            if not covered:
+                queue.append((entry[0], True))
+                self.resubmitted_shards_total += 1
             if self._mid_batch_respawn(respawns) is not None:
                 respawns += 1
 
+        def retire_losers(shard_id: int) -> None:
+            """Move every other in-flight dispatch of a won shard to lame."""
+            for peer in [
+                peer
+                for peer, peer_entry in inflight.items()
+                if peer_entry[0].shard_id == shard_id
+            ]:
+                del inflight[peer]
+                dispatched_at.pop(peer, None)
+                if peer in hedge_workers:
+                    # The original finished first: the speculative copy
+                    # bought nothing.
+                    hedge_workers.discard(peer)
+                    self.hedges_wasted += 1
+                self._retire_to_lame(peer)
+
         while ((queue or chain_blocked) and error is None) or inflight:
+            self._poll_lame()
             if error is None:
                 for worker in self._alive_workers():
                     if not queue:
                         break
-                    if worker in inflight:
+                    if worker in inflight or worker in self._lame:
                         continue
                     entry = queue.popleft()
                     if chain is not None:
@@ -1405,8 +1658,11 @@ class PooledBackend(ServingBackend):
                     if self._dispatch(worker, [entry[0]]):
                         worker.touch()
                         inflight[worker] = entry
+                        dispatched_at[worker] = time.monotonic()
                     else:
                         queue.appendleft(entry)
+                if self.hedge_after_s is not None and not queue and inflight:
+                    self._hedge_stragglers(inflight, dispatched_at, hedge_workers)
                 if (queue or chain_blocked) and not inflight and not self._alive_workers():
                     replacement = self._mid_batch_respawn(respawns)
                     if replacement is not None:
@@ -1442,11 +1698,17 @@ class PooledBackend(ServingBackend):
                             "batch dispatch deadlocked on the sub-shard chain"
                         )
             if not inflight:
+                if self._lame:
+                    # Nothing in flight but a crawler still owes a reply:
+                    # yield briefly instead of hot-spinning on _poll_lame.
+                    time.sleep(0.005)
                 continue
-            ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
+            wait_ready = mp_wait([worker.conn for worker in inflight], timeout=0.05)
             now = time.monotonic()
             for worker in list(inflight):
-                if worker.conn in ready:
+                if worker not in inflight:
+                    continue  # retired to lame by an earlier win this sweep
+                if worker.conn in wait_ready:
                     try:
                         reply = worker.conn.recv()
                     except (EOFError, OSError):
@@ -1455,21 +1717,36 @@ class PooledBackend(ServingBackend):
                         worker.touch()
                         continue
                     entry = inflight.pop(worker)
+                    dispatched_at.pop(worker, None)
                     if reply is None:
                         worker.mark_dead()
+                        hedge_workers.discard(worker)
                         lost(entry)
                     elif reply[0] == "done":
                         worker.touch()
+                        shard_id = entry[0].shard_id
+                        if shard_id in completed:
+                            # Stale duplicate of an already-served shard:
+                            # bit-identical by the content-keyed crowd RNG,
+                            # so discarding it is a pure no-op.
+                            hedge_workers.discard(worker)
+                            continue
+                        completed.add(shard_id)
+                        if worker in hedge_workers:
+                            hedge_workers.discard(worker)
+                            self.hedges_won += 1
+                        retire_losers(shard_id)
                         outcomes.extend(reply[2])
                         if chain is not None:
                             for outcome in reply[2]:
                                 chain.record(outcome)
                             release_chain_ready()
                         if entry[1]:
-                            resubmitted.add(entry[0].shard_id)
+                            resubmitted.add(shard_id)
                     elif reply[0] == "desync":
                         # The worker's warm base is no longer trustworthy.
                         worker.mark_dead()
+                        hedge_workers.discard(worker)
                         lost(entry)
                     elif reply[0] == "error":
                         error = error or str(reply[2])
@@ -1477,12 +1754,16 @@ class PooledBackend(ServingBackend):
                         error = error or f"unexpected pool reply {reply[0]!r}"
                 elif not worker.process.is_alive():
                     worker.mark_dead()
+                    hedge_workers.discard(worker)
+                    dispatched_at.pop(worker, None)
                     lost(inflight.pop(worker))
                 elif now - worker.last_heard > self.rpc_deadline_s:
                     # Alive but silent past the deadline — no reply and no
                     # heartbeat — so it is hung, not slow.
                     self._kill_worker(worker)
                     self.hung_workers_killed += 1
+                    hedge_workers.discard(worker)
+                    dispatched_at.pop(worker, None)
                     lost(inflight.pop(worker))
         if error is not None:
             raise ServingError(f"shard execution failed in a pool worker:\n{error}")
@@ -1495,6 +1776,11 @@ class PooledBackend(ServingBackend):
         total = self._planner_for(tenant).truth_cursor()
         synced: List[_PoolWorker] = []
         for worker in self._alive_workers():
+            if worker in self._lame:
+                # An outstanding (stale) reply is still owed: interleaving a
+                # sync round-trip would break the request/reply protocol.
+                # The worker re-syncs lazily at its next dispatch instead.
+                continue
             cursor = worker.cursors.get(tenant)
             if cursor is None or cursor >= total:
                 continue
@@ -1552,6 +1838,13 @@ class RecommendationService:
         self.backend = backend
         self._closed = False
         self._resubmitted_results = 0
+        # Resilience counters (see statistics()["resilience"]).
+        self._sheds = 0
+        self._deadline_breaches = 0
+        self._journal_suspended = False
+        # EWMA of whole-batch wall-clock (plan+execute+merge), the admission
+        # controller's throughput estimate.  None until the first batch runs.
+        self._batch_s_ewma: Optional[float] = None
         # The journal attaches (and replays) before the first batch, so a
         # lazily forked pool inherits the recovered truth state.
         self._journal: Optional[TruthJournal] = None
@@ -1570,8 +1863,12 @@ class RecommendationService:
         self._next_batch_id = (
             self._journal.batch_count + 1 if self._journal is not None else 1
         )
-        # Submitted-but-unexecuted batches, in submission order.
-        self._pending: "OrderedDict[int, Tuple[List[RecommendRequest], bool]]" = OrderedDict()
+        # Submitted-but-unexecuted batches, in submission order.  Each entry
+        # is (requests, share, deadline_at) — deadline_at an absolute
+        # time.monotonic() budget, or None when the caller named none.
+        self._pending: (
+            "OrderedDict[int, Tuple[List[RecommendRequest], bool, Optional[float]]]"
+        ) = OrderedDict()
         # Executed-but-uncollected responses, keyed by ticket id.
         self._ready: Dict[int, List[RecommendResponse]] = {}
         self._collected: Set[int] = set()
@@ -1631,9 +1928,16 @@ class RecommendationService:
         if self._closed:
             return
         self._closed = True
-        self.backend.close()
-        if self._journal is not None:
-            self._journal.close()
+        try:
+            self.backend.close()
+        finally:
+            if self._journal is not None:
+                try:
+                    self._journal.close()
+                except OSError:
+                    # A dying disk must not mask the pool shutdown (or an
+                    # in-flight exception) at close time.
+                    pass
 
     def __enter__(self) -> "RecommendationService":
         return self
@@ -1650,26 +1954,46 @@ class RecommendationService:
         self,
         queries: Union[QueryLike, Iterable[QueryLike]],
         share_candidate_generation: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> Ticket:
         """Enqueue one batch; returns the ticket that redeems its results.
 
         Accepts a single query or an iterable; raises
-        :class:`~repro.exceptions.ServingError` when
-        ``config.max_pending_batches`` batches already await execution.
+        :class:`~repro.exceptions.OverloadError` (a ``ServingError``) when
+        ``config.max_pending_batches`` batches already await execution, or
+        when ``deadline_s`` — a completion budget in seconds from now — is
+        unmeetable at the service's observed throughput (queue depth times
+        the batch-time EWMA).  Both sheds happen *before* any side effect,
+        so the caller may retry, back off, or route elsewhere; admitted
+        batches record their absolute deadline and count a deadline breach
+        if they finalise late (the budget never aborts an admitted batch —
+        shedding is an admission decision, not an execution one).
         Submission order is execution order, whatever order tickets are
         redeemed in.
         """
         self._ensure_open()
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServingError("deadline_s must be positive (or None for no deadline)")
         # Reject before consuming anything: a caller whose submit is refused
         # must be able to retry with the same (possibly generator) queries.
         if len(self._pending) >= self.config.max_pending_batches:
-            raise ServingError(
+            self._sheds += 1
+            raise OverloadError(
                 f"submission queue is full ({self.config.max_pending_batches} pending batches)"
             )
+        if deadline_s is not None and self._batch_s_ewma is not None:
+            estimate = (len(self._pending) + 1) * self._batch_s_ewma
+            if estimate > deadline_s:
+                self._sheds += 1
+                raise OverloadError(
+                    f"deadline {deadline_s:.3f}s unmeetable: {len(self._pending)} batches "
+                    f"pending at ~{self._batch_s_ewma:.3f}s/batch (~{estimate:.3f}s to finish)"
+                )
         requests, share = self._wrap(queries, share_candidate_generation)
         ticket = Ticket(ticket_id=self._next_ticket_id, size=len(requests))
         self._next_ticket_id += 1
-        self._pending[ticket.ticket_id] = (requests, share)
+        deadline_at = None if deadline_s is None else time.monotonic() + deadline_s
+        self._pending[ticket.ticket_id] = (requests, share, deadline_at)
         return ticket
 
     def results(self, ticket: Union[Ticket, int]) -> List[RecommendResponse]:
@@ -1695,6 +2019,20 @@ class RecommendationService:
         self._ensure_open()
         while self._pending:
             self._execute_next_pending()
+
+    def pump(self) -> bool:
+        """Execute at most one pending batch (a window when pipelining).
+
+        ``True`` when something ran, ``False`` on an empty queue.  The
+        fairness primitive: :class:`~repro.serving.tenancy.WorkspaceService`
+        round-robins one ``pump`` per workspace so a single tenant's backlog
+        cannot monopolise the shared pool between admissions.
+        """
+        self._ensure_open()
+        if not self._pending:
+            return False
+        self._execute_next_pending()
+        return True
 
     def recommend(self, query: QueryLike) -> RecommendResponse:
         """Answer a single query through the full batch pipeline."""
@@ -1778,8 +2116,11 @@ class RecommendationService:
         whose shard was resubmitted after a worker loss, ``pipeline`` the
         cross-batch overlap and window-parallelism counters, ``sharding``
         the skew diagnostics (largest-shard fraction before/after hotspot
-        splitting and the sub-shard chain depth), and ``journal`` (present
-        only when journaling) the durability counters.
+        splitting and the sub-shard chain depth), ``resilience`` the
+        graceful-degradation counters (hedges issued/won/wasted, stragglers
+        killed, admission sheds, deadline breaches, journal suspension),
+        and ``journal`` (present only when journaling) the durability
+        counters.
         """
         stats: Dict[str, Any] = {
             "planner": self.planner.statistics.as_dict(),
@@ -1788,6 +2129,11 @@ class RecommendationService:
             "sharding": dict(self.backend.sharding_stats()),
         }
         stats["supervision"]["resubmitted_results"] = self._resubmitted_results
+        resilience = dict(self.backend.resilience_stats())
+        resilience["sheds"] = self._sheds
+        resilience["deadline_breaches"] = self._deadline_breaches
+        resilience["journal_suspended"] = self._journal_suspended
+        stats["resilience"] = resilience
         if self._journal is not None:
             stats["journal"] = self._journal.stats()
         return stats
@@ -1836,10 +2182,11 @@ class RecommendationService:
         if self.config.pipeline_window > 1 and len(self._pending) > 1:
             self._execute_pending_window()
             return
-        ticket_id, (requests, share) = next(iter(self._pending.items()))
+        ticket_id, (requests, share, deadline_at) = next(iter(self._pending.items()))
         responses = self._execute(requests, share)
         del self._pending[ticket_id]
         self._ready[ticket_id] = responses
+        self._note_deadline(deadline_at)
 
     def _execute_pending_window(self) -> None:
         """Execute up to ``pipeline_window`` pending batches as one window.
@@ -1861,12 +2208,12 @@ class RecommendationService:
                 queries=[request.query for request in requests],
                 share_candidate_generation=share,
             )
-            for _, (requests, share) in entries
+            for _, (requests, share, _deadline) in entries
         ]
         executions = self.backend.execute_window(window)
         if not executions:  # pragma: no cover - window contract guard
             raise ServingError("backend returned no executions for a non-empty window")
-        for position, ((ticket_id, (requests, _share)), execution) in enumerate(
+        for position, ((ticket_id, (requests, _share, deadline_at)), execution) in enumerate(
             zip(entries, executions)
         ):
             # Snapshots are deferred to the window's last journaled batch:
@@ -1877,6 +2224,12 @@ class RecommendationService:
             )
             del self._pending[ticket_id]
             self._ready[ticket_id] = responses
+            self._note_deadline(deadline_at)
+
+    def _note_deadline(self, deadline_at: Optional[float]) -> None:
+        """Count a breach when an admitted batch finalised past its budget."""
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            self._deadline_breaches += 1
 
     def _execute(
         self,
@@ -1902,19 +2255,52 @@ class RecommendationService:
         """Assign the batch id, journal the batch's truth span, build envelopes."""
         batch_id = self._next_batch_id
         self._next_batch_id += 1
-        if self._journal is not None:
+        # Feed the admission controller: EWMA (alpha=0.5) of whole-batch
+        # wall-clock, weighting recent throughput so the estimate tracks
+        # load shifts within a few batches.
+        batch_s = execution.plan_s + execution.execute_s + execution.merge_s
+        self._batch_s_ewma = (
+            batch_s
+            if self._batch_s_ewma is None
+            else 0.5 * batch_s + 0.5 * self._batch_s_ewma
+        )
+        if self._journal is not None and not self._journal_suspended:
             # One record per executed batch — even with an empty delta — so
             # the journal's record count is an exact durable progress marker
             # for crash recovery (which batches need re-executing).  Under
             # pipelining several batches merge inside one window call, so the
             # delta is bounded to this batch's own truth span.
             before, after = execution.truth_span or (0, self.planner.truth_cursor())
-            self._journal.append(
-                self.planner.truth_delta(before, upto=after),
-                self.planner.truths,
-                meta={"batch_id": batch_id, "size": len(requests)},
-                allow_snapshot=allow_snapshot,
-            )
+            try:
+                self._journal.append(
+                    self.planner.truth_delta(before, upto=after),
+                    self.planner.truths,
+                    meta={"batch_id": batch_id, "size": len(requests)},
+                    allow_snapshot=allow_snapshot,
+                )
+            except OSError as exc:
+                # Disk fault (ENOSPC, EIO, ...) on append or snapshot: the
+                # degrade ladder.  The batch itself already merged — only
+                # its durability record failed.
+                if self.config.journal_on_error == "suspend":
+                    # Stop journaling, keep serving.  recover() on this
+                    # journal replays to the last *durable* batch; batches
+                    # served after suspension are answered but not durable.
+                    self._journal_suspended = True
+                    try:
+                        self._journal.close()
+                    except OSError:  # pragma: no cover - double disk fault
+                        pass
+                    warnings.warn(
+                        f"truth journal suspended after a disk fault: {exc} — "
+                        "serving continues undurable (journal_on_error='suspend')",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    raise JournalError(
+                        f"truth journal append failed for batch {batch_id}: {exc}"
+                    ) from exc
         timings = BatchTimings(
             plan_s=execution.plan_s, execute_s=execution.execute_s, merge_s=execution.merge_s
         )

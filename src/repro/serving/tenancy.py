@@ -68,7 +68,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Unio
 
 from ..config import PlannerConfig, ServiceConfig
 from ..core.planner import CrowdPlanner, ShardPlan
-from ..exceptions import ServingError
+from ..exceptions import ServingError, WorkspaceManifestError
 from ..routing.base import RouteQuery
 from .journal import TruthJournal
 from .protocol import BatchExecution, RecommendResponse, ServingBackend, Ticket, WindowBatch
@@ -100,6 +100,15 @@ _SUPERVISION_KEYS = (
     "resubmitted_shards",
     "hung_workers_killed",
     "degraded_batches",
+)
+
+#: Counter keys of the per-tenant breakdown that map onto the pool's hedged
+#: execution surface (``resilience_stats``).
+_RESILIENCE_KEYS = (
+    "hedges_issued",
+    "hedges_won",
+    "hedges_wasted",
+    "stragglers_killed",
 )
 
 
@@ -170,6 +179,15 @@ class TenantBackend(ServingBackend):
         stats = self.pool.tenant_stats(self.tenant)
         return {key: stats[key] for key in _SUPERVISION_KEYS}
 
+    def resilience_stats(self) -> Dict[str, int]:
+        """This tenant's share of the pool's hedged-execution counters.
+
+        Attribution mirrors ``supervision_stats``: hedges are counted inside
+        the batch that raced them, so another tenant's stragglers never show
+        up here."""
+        stats = self.pool.tenant_stats(self.tenant)
+        return {key: stats[key] for key in _RESILIENCE_KEYS}
+
     def pipeline_stats(self) -> Dict[str, int]:
         # Pool-global: windows of every tenant share one DAG dispatcher.
         return self.pool.pipeline_stats()
@@ -212,8 +230,11 @@ class Workspace:
         numbering means the count survives crash recovery."""
         return self.service._next_batch_id - 1
 
-    def submit(self, queries, share_candidate_generation=None) -> Ticket:
-        return self.service.submit(queries, share_candidate_generation)
+    def submit(self, queries, share_candidate_generation=None, deadline_s=None) -> Ticket:
+        return self.service.submit(queries, share_candidate_generation, deadline_s)
+
+    def pump(self) -> bool:
+        return self.service.pump()
 
     def results(self, ticket: Union[Ticket, int]) -> List[RecommendResponse]:
         return self.service.results(ticket)
@@ -290,6 +311,9 @@ class WorkspaceService:
         self.journal_root = Path(journal_root) if journal_root is not None else None
         self._workspaces: "OrderedDict[str, Workspace]" = OrderedDict()
         self._closed = False
+        # Round-robin origin for pump(): rotates one position per round so
+        # no workspace is structurally first in every fairness sweep.
+        self._pump_cursor = 0
         self._pool: Optional[PooledBackend] = None
         if config.backend == "pooled":
             if pool is None:
@@ -320,6 +344,11 @@ class WorkspaceService:
         journal replay restore its exact pre-crash truth state and batch
         numbering.  Workspaces are recovered in name order; new workspaces
         can be created alongside the recovered ones afterwards.
+
+        A corrupt or garbage manifest raises
+        :class:`~repro.exceptions.WorkspaceManifestError` naming the
+        workspace directory, so the operator knows exactly which tenant's
+        on-disk state to inspect rather than chasing a raw decode error.
         """
         root = Path(journal_root)
         service = cls(template, config=config, journal_root=root, pool=pool)
@@ -328,11 +357,25 @@ class WorkspaceService:
                 manifest = entry / WORKSPACE_MANIFEST
                 if not manifest.is_file():
                     continue
-                data = json.loads(manifest.read_text())
-                service.create_workspace(
-                    data.get("name", entry.name),
-                    PlannerConfig(**data["planner_config"]),
-                )
+                try:
+                    data = json.loads(manifest.read_text())
+                except (ValueError, UnicodeDecodeError, OSError) as exc:
+                    raise WorkspaceManifestError(entry, f"not valid JSON: {exc}") from exc
+                if not isinstance(data, dict):
+                    raise WorkspaceManifestError(
+                        entry, f"expected a JSON object, got {type(data).__name__}"
+                    )
+                if not isinstance(data.get("planner_config"), dict):
+                    raise WorkspaceManifestError(
+                        entry, "missing or malformed 'planner_config' field"
+                    )
+                try:
+                    planner_config = PlannerConfig(**data["planner_config"])
+                except TypeError as exc:
+                    raise WorkspaceManifestError(
+                        entry, f"planner_config does not match PlannerConfig: {exc}"
+                    ) from exc
+                service.create_workspace(data.get("name", entry.name), planner_config)
         return service
 
     @property
@@ -438,6 +481,42 @@ class WorkspaceService:
         if workspace is None:
             raise ServingError(f"unknown workspace {name!r}")
         workspace.service.close()
+
+    # --------------------------------------------------------------- fairness
+    def pump(self) -> bool:
+        """One round-robin fairness sweep over every workspace's backlog.
+
+        Executes at most one pending batch (or pipelined window) per open
+        workspace, visiting workspaces in creation order starting one past
+        the previous round's origin — so a tenant with a deep backlog gets
+        exactly one turn per sweep and can never monopolise the shared pool
+        between other tenants' admissions.  Returns ``True`` while any
+        workspace still had work.
+        """
+        self._ensure_open()
+        names = list(self._workspaces)
+        if not names:
+            return False
+        start = self._pump_cursor % len(names)
+        self._pump_cursor = (start + 1) % len(names)
+        ran = False
+        for offset in range(len(names)):
+            workspace = self._workspaces.get(names[(start + offset) % len(names)])
+            if workspace is not None and not workspace.closed and workspace.pump():
+                ran = True
+        return ran
+
+    def drain_fair(self) -> None:
+        """Drain every workspace's backlog in interleaved round-robin order.
+
+        Equivalent end state to calling each workspace's ``drain()`` in turn
+        — per-workspace submission order is preserved, and the isolation
+        contract makes the interleaving invisible to fingerprints — but
+        bounded-latency per tenant: after each sweep, every tenant has
+        progressed by one batch.
+        """
+        while self.pump():
+            pass
 
     # ------------------------------------------------------------ diagnostics
     def statistics(self) -> Dict[str, Any]:

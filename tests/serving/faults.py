@@ -25,16 +25,27 @@ Fault kinds:
 ``desync``
     Replace the truth delta with one that fails adoption, forcing the
     worker's "desync" reply (untrustworthy warm base → retire + re-fork).
+``slow``
+    Dispatch normally, then run the worker on a SIGSTOP/SIGCONT duty cycle:
+    mostly stopped, briefly running, ending in a permanent SIGCONT.  Unlike
+    ``hang`` the worker keeps heartbeating during its run slices, so the
+    silence supervisor never fires — this is the straggler only hedged
+    execution (``hedge_after_s``) can absorb, and without hedging it is a
+    pure stall the batch must ride out.
 
-The journal helpers at the bottom tear files the way a crash would:
-truncating mid-record and corrupting payload bytes in place.
+The journal helpers at the bottom tear files the way a crash would
+(truncating mid-record, corrupting payload bytes in place), and
+:func:`break_journal_disk` models a *dying disk*: the journal's open segment
+handle starts raising ``ENOSPC``/``EIO`` at a chosen append ordinal.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
 import struct
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -50,7 +61,7 @@ FAST_SUPERVISION = dict(
     respawn_backoff_max_s=0.05,
 )
 
-FAULT_KINDS = ("kill_before", "kill_after", "hang", "drop", "delay", "desync")
+FAULT_KINDS = ("kill_before", "kill_after", "hang", "drop", "delay", "desync", "slow")
 
 
 class _PoisonDelta:
@@ -69,14 +80,24 @@ class FaultInjectingBackend(PooledBackend):
         self,
         schedule: Optional[Dict[int, str]] = None,
         delay_s: float = 0.05,
+        slow_stop_s: float = 0.18,
+        slow_run_s: float = 0.04,
+        slow_total_s: float = 1.2,
         **kwargs,
     ):
         kwargs = {**FAST_SUPERVISION, **kwargs}
         super().__init__(**kwargs)
         self.schedule = dict(schedule or {})
         self.delay_s = delay_s
+        # ``slow`` duty cycle: stopped slices must stay well under
+        # rpc_deadline_s so each run slice's heartbeat renews the silence
+        # deadline — the worker crawls, it never looks hung.
+        self.slow_stop_s = slow_stop_s
+        self.slow_run_s = slow_run_s
+        self.slow_total_s = slow_total_s
         self.dispatch_ordinal = 0
         self.injected: List[str] = []
+        self._slow_threads: List[threading.Thread] = []
 
     def _dispatch(self, worker: _PoolWorker, jobs) -> bool:
         fault = self.schedule.get(self.dispatch_ordinal)
@@ -115,7 +136,54 @@ class FaultInjectingBackend(PooledBackend):
                 return False
             worker.cursors[tenant] = self._planner_for(tenant).truth_cursor()
             return True
+        if fault == "slow":
+            sent = super()._dispatch(worker, jobs)
+            if sent:
+                self._start_duty_cycle(worker.pid)
+            return sent
         raise AssertionError(f"unknown fault kind {fault!r}")
+
+    def _start_duty_cycle(self, pid: int) -> None:
+        """SIGSTOP now, then CONT/STOP slices until ``slow_total_s`` elapses.
+
+        Ends in a permanent SIGCONT so the worker always finishes its shard
+        eventually — the fault models *slowness*, never a permanent wedge.
+        Every signal guards ``ProcessLookupError``: supervision (or a lost
+        hedge race past its lame deadline) may legitimately SIGKILL the
+        crawler mid-cycle.
+        """
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except ProcessLookupError:
+            return
+
+        def duty_cycle() -> None:
+            deadline = time.monotonic() + self.slow_total_s
+            try:
+                while time.monotonic() < deadline:
+                    time.sleep(self.slow_stop_s)
+                    os.kill(pid, signal.SIGCONT)
+                    time.sleep(self.slow_run_s)
+                    if time.monotonic() >= deadline:
+                        return
+                    os.kill(pid, signal.SIGSTOP)
+            except ProcessLookupError:
+                return
+            finally:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+
+        thread = threading.Thread(target=duty_cycle, daemon=True)
+        thread.start()
+        self._slow_threads.append(thread)
+
+    def close(self) -> None:
+        super().close()
+        for thread in self._slow_threads:
+            thread.join(timeout=self.slow_total_s + 1.0)
+        self._slow_threads.clear()
 
 
 # --------------------------------------------------------- journal file chaos
@@ -163,3 +231,69 @@ def append_garbage(journal_dir, blob: bytes = b"\x07garbage\x07" * 3) -> None:
     """Append trailing junk (a torn frame header) to the segment."""
     with open(journal_segment(journal_dir), "ab") as handle:
         handle.write(blob)
+
+
+# ------------------------------------------------------------ dying-disk chaos
+class FlakyDiskHandle:
+    """Proxy a journal's open segment handle so the disk "dies" on cue.
+
+    Append ordinals are counted by ``flush()`` calls (the journal flushes
+    exactly once per append), so ``fail_at_append=N`` means appends
+    ``0..N-1`` land durably and append ``N`` onward raises the chosen
+    ``OSError`` — at the ``write`` (ENOSPC mid-record), ``flush`` (buffered
+    bytes refused), or ``fsync`` (durability barrier refused) stage.
+    """
+
+    FAIL_STAGES = ("write", "flush", "fsync")
+
+    def __init__(self, handle, fail_at_append: int = 0, error: int = errno.ENOSPC,
+                 fail_on: str = "write"):
+        assert fail_on in self.FAIL_STAGES, fail_on
+        self._handle = handle
+        self._fail_at = fail_at_append
+        self._errno = error
+        self._fail_on = fail_on
+        self.appends_seen = 0
+        self.failures = 0
+
+    def _maybe_fail(self, stage: str) -> None:
+        if stage == self._fail_on and self.appends_seen >= self._fail_at:
+            self.failures += 1
+            raise OSError(self._errno, os.strerror(self._errno))
+
+    def write(self, data):
+        self._maybe_fail("write")
+        return self._handle.write(data)
+
+    def flush(self):
+        self._maybe_fail("flush")
+        result = self._handle.flush()
+        self.appends_seen += 1
+        return result
+
+    def fileno(self) -> int:
+        # The journal only asks for the fd to fsync it, so raising here is
+        # the same OSError surface an fsync failure presents to append().
+        self._maybe_fail("fsync")
+        return self._handle.fileno()
+
+    def __getattr__(self, attr):
+        return getattr(self._handle, attr)
+
+
+def break_journal_disk(
+    journal,
+    fail_at_append: int = 0,
+    error: int = errno.EIO,
+    fail_on: str = "write",
+) -> FlakyDiskHandle:
+    """Swap ``journal``'s segment handle for a :class:`FlakyDiskHandle`.
+
+    Returns the proxy so the test can assert how many appends landed before
+    the injected fault fired.
+    """
+    flaky = FlakyDiskHandle(
+        journal._handle, fail_at_append=fail_at_append, error=error, fail_on=fail_on
+    )
+    journal._handle = flaky
+    return flaky

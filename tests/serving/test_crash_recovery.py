@@ -53,12 +53,12 @@ def _fingerprints(responses):
 
 def _journaled_config(planner, journal_dir, **overrides) -> ServiceConfig:
     config = ServiceConfig.from_planner_config(planner.config)
+    overrides.setdefault("snapshot_every_truths", 24)
     return dataclasses.replace(
         config,
         backend="pooled",
         pool_size=2,
         journal_path=str(journal_dir),
-        snapshot_every_truths=24,
         **overrides,
     )
 
@@ -181,7 +181,8 @@ class TestChaosMatrix:
     ):
         """Nightly full matrix: for any injected fault schedule — including
         chain-aware ordinals that land on sub-shard dispatches when hotspot
-        splitting is on — redeemed results are fingerprint-identical to the
+        splitting is on, ``slow`` duty-cycle stragglers, and runs with hedged
+        execution armed — redeemed results are fingerprint-identical to the
         sequential oracle."""
         from hypothesis import HealthCheck, given, settings
         from hypothesis import strategies as st
@@ -204,10 +205,17 @@ class TestChaosMatrix:
                 max_size=4,
             ),
             max_shard_fraction=st.sampled_from([None, 0.25, 0.1]),
+            # Hedging armed or not: duplicate speculative dispatches must be
+            # invisible in the output stream under every fault schedule.
+            hedge=st.sampled_from([None, 0.2]),
         )
-        def run(schedule, max_shard_fraction):
+        def run(schedule, max_shard_fraction, hedge):
             backend = FaultInjectingBackend(
-                schedule=schedule, pool_size=2, max_shard_fraction=max_shard_fraction
+                schedule=schedule,
+                pool_size=2,
+                max_shard_fraction=max_shard_fraction,
+                hedge_after_s=hedge,
+                slow_total_s=0.8,
             )
             service = RecommendationService(build_serving_planner(), backend=backend)
             try:
@@ -218,6 +226,72 @@ class TestChaosMatrix:
                 assert produced == oracle
             finally:
                 service.close()
+
+        run()
+
+    def test_any_disk_fault_degrades_then_recovers(
+        self, tmp_path_factory, build_serving_planner, serving_workload, sequential_oracle
+    ):
+        """Nightly disk-fault matrix: a dying disk at any append ordinal,
+        errno, and stage (write / flush / fsync) under ``journal_on_error=
+        "suspend"`` degrades the service without perturbing one answer, and
+        recovery replays exactly the durable prefix."""
+        import errno
+
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from .faults import FlakyDiskHandle, break_journal_disk
+
+        oracle = sequential_oracle["plain"]["fingerprints"]
+        chunks = _chunks(serving_workload)
+
+        @settings(
+            max_examples=8,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+        )
+        @given(
+            fail_at=st.integers(min_value=0, max_value=3),
+            code=st.sampled_from([errno.ENOSPC, errno.EIO]),
+            stage=st.sampled_from(FlakyDiskHandle.FAIL_STAGES),
+        )
+        def run(fail_at, code, stage):
+            journal_dir = tmp_path_factory.mktemp("disk-chaos") / "journal"
+            planner = build_serving_planner()
+            # No compaction: rotating generations would swap in a fresh
+            # (healthy) segment handle and the injected fault could miss.
+            config = _journaled_config(
+                planner, journal_dir, journal_on_error="suspend",
+                snapshot_every_truths=10_000,
+            )
+            service = RecommendationService(planner, config=config)
+            break_journal_disk(
+                service.journal, fail_at_append=fail_at, error=code, fail_on=stage
+            )
+            produced = []
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                for chunk in chunks:
+                    produced.extend(_fingerprints(service.results(service.submit(chunk))))
+                assert produced == oracle
+                assert service.statistics()["resilience"]["journal_suspended"] is True
+                service.close()
+
+            fresh = build_serving_planner()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                recovered = RecommendationService.recover(fresh, journal_dir, config=config)
+            # ``write``-stage faults tear before the record lands; ``flush``/
+            # ``fsync`` faults may still leave it durable via the buffered
+            # handle, so the durable prefix is fail_at or fail_at + 1.
+            durable = recovered.journal.batch_count
+            assert fail_at <= durable <= fail_at + 1
+            tail = []
+            for chunk in chunks[durable:]:
+                tail.extend(_fingerprints(recovered.results(recovered.submit(chunk))))
+            recovered.close()
+            assert tail == oracle[durable * CHUNK:]
 
         run()
 

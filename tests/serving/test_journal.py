@@ -9,6 +9,8 @@ the recovery contract at the fingerprint level.
 from __future__ import annotations
 
 import dataclasses
+import errno
+import os
 
 import pytest
 
@@ -17,7 +19,13 @@ from repro.core.truth import TruthDatabase
 from repro.exceptions import JournalError
 from repro.serving import RecommendationService, TruthJournal, recommendation_fingerprint
 
-from .faults import append_garbage, corrupt_tail, journal_segment, tear_tail
+from .faults import (
+    append_garbage,
+    break_journal_disk,
+    corrupt_tail,
+    journal_segment,
+    tear_tail,
+)
 
 
 @pytest.fixture(scope="module")
@@ -340,11 +348,85 @@ class TestServiceJournalIntegration:
         service = RecommendationService(planner, config=self._config(planner, tmp_path))
         service.results(service.submit(list(serving_workload[:16])))
         stats = service.statistics()
-        assert set(stats) == {"planner", "supervision", "pipeline", "sharding", "journal"}
+        assert set(stats) == {
+            "planner", "supervision", "pipeline", "sharding", "resilience", "journal",
+        }
         assert stats["planner"]["requests"] == 16
         assert stats["supervision"]["respawns"] == 0
         assert stats["supervision"]["resubmitted_results"] == 0
         assert stats["pipeline"]["windows"] == 0
         assert stats["sharding"]["sub_shards_total"] == 0
+        assert stats["resilience"]["hedges_issued"] == 0
+        assert stats["resilience"]["journal_suspended"] is False
         assert stats["journal"]["records_appended"] == 1
         service.close()
+
+
+class TestJournalDiskFaults:
+    """The journal's own OSError surfaces, driven by injected failing I/O."""
+
+    def test_unwritable_journal_directory_is_a_typed_error(self, tmp_path, monkeypatch):
+        import pathlib
+
+        def failing_mkdir(self, *args, **kwargs):
+            raise OSError(errno.EIO, os.strerror(errno.EIO))
+
+        monkeypatch.setattr(pathlib.Path, "mkdir", failing_mkdir)
+        with pytest.raises(JournalError, match="cannot create journal directory"):
+            TruthJournal(tmp_path / "nope")
+
+    @pytest.mark.parametrize("code", [errno.ENOSPC, errno.EIO])
+    def test_append_propagates_disk_errors_raw(
+        self, tmp_path, recorded_truths, code
+    ):
+        """Without a service-level ladder the journal stays policy-free: an
+        append against a dying disk raises the original OSError."""
+        planner, truths = recorded_truths
+        journal = TruthJournal(tmp_path / "j", snapshot_every_truths=10_000)
+        journal.append(truths[:2], planner.truths)
+        flaky = break_journal_disk(journal, fail_at_append=0, error=code)
+        with pytest.raises(OSError) as excinfo:
+            journal.append(truths[2:4], planner.truths)
+        assert excinfo.value.errno == code
+        assert not isinstance(excinfo.value, JournalError)
+        assert flaky.failures == 1
+        # The failed append consumed no record: durable state is unchanged.
+        assert journal.batch_count == 1
+
+    @pytest.mark.parametrize("code", [errno.ENOSPC, errno.EIO])
+    def test_unreadable_snapshot_falls_back_a_generation(
+        self, tmp_path, recorded_truths, monkeypatch, code
+    ):
+        """An OSError while validating the newest snapshot (the journal.py
+        selection fallback) downgrades to the previous generation with a
+        warning instead of crashing the open."""
+        import pathlib
+        import shutil
+
+        planner, truths = recorded_truths
+        journal_dir = tmp_path / "j"
+        journal = TruthJournal(journal_dir, snapshot_every_truths=1)
+        journal.append(truths[:2], planner.truths)  # cadence forces snapshot gen 1
+        journal.close()
+        # Rotation keeps a single generation on disk, so fabricate a newer
+        # one (as a crash between "new snapshot durable" and "old generation
+        # deleted" would leave) whose snapshot the disk then refuses to read.
+        shutil.copy(journal_dir / "snapshot-00000001.snap", journal_dir / "snapshot-00000002.snap")
+        shutil.copy(journal_dir / "journal-00000001.log", journal_dir / "journal-00000002.log")
+        bad_name = "snapshot-00000002.snap"
+
+        original_read_bytes = pathlib.Path.read_bytes
+
+        def flaky_read_bytes(self):
+            if self.name == bad_name:
+                raise OSError(code, os.strerror(code))
+            return original_read_bytes(self)
+
+        monkeypatch.setattr(pathlib.Path, "read_bytes", flaky_read_bytes)
+        with pytest.warns(RuntimeWarning, match="falling back to the previous generation"):
+            reopened = TruthJournal(journal_dir, snapshot_every_truths=1)
+        assert reopened.generation == 1
+        # The fallback generation's durable prefix is what replay serves.
+        assert reopened.batch_count == 1
+        assert not (journal_dir / bad_name).exists()
+        reopened.close()

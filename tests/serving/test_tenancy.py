@@ -20,7 +20,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.config import PlannerConfig, ServiceConfig
-from repro.exceptions import ServingError
+from repro.exceptions import ServingError, WorkspaceManifestError
 from repro.serving import WorkspaceService, recommendation_fingerprint
 
 from .faults import FaultInjectingBackend
@@ -292,6 +292,36 @@ class TestWorkspaceRecovery:
         )
         assert recovered.workspace("tuned").planner.config == custom
         recovered.close()
+
+    def test_corrupt_manifest_is_a_typed_error_naming_the_directory(
+        self, build_serving_planner, tmp_path
+    ):
+        template = build_serving_planner()
+        config = _tenant_config(template, backend="inline")
+        with WorkspaceService(template, config=config, journal_root=tmp_path) as svc:
+            svc.create_workspace("healthy")
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "workspace.json").write_text("{this is not json")
+
+        with pytest.raises(WorkspaceManifestError, match="not valid JSON") as excinfo:
+            WorkspaceService.recover_all(build_serving_planner(), tmp_path, config=config)
+        # The operator is pointed at the exact workspace directory to inspect.
+        assert excinfo.value.directory == broken
+        assert str(broken) in str(excinfo.value)
+
+    def test_manifest_missing_planner_config_is_a_typed_error(
+        self, build_serving_planner, tmp_path
+    ):
+        template = build_serving_planner()
+        config = _tenant_config(template, backend="inline")
+        broken = tmp_path / "legacy"
+        broken.mkdir()
+        (broken / "workspace.json").write_text('{"name": "legacy"}')
+
+        with pytest.raises(WorkspaceManifestError, match="planner_config") as excinfo:
+            WorkspaceService.recover_all(build_serving_planner(), tmp_path, config=config)
+        assert excinfo.value.directory == broken
 
 
 @needs_fork
